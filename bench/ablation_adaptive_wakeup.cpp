@@ -1,0 +1,73 @@
+// Ablation: battery-aware adaptive wake-up scheduling (the paper's stated
+// future work — beehive intelligence that "tunes its parameters").
+// Compares fixed vs adaptive schedules across battery-bank sizes on the
+// discrete-event beehive: outage hours vs data yield over a multi-day run.
+//
+// Usage: ablation_adaptive_wakeup [days=3] [seed=13]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hive/beehive.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace beesim;
+namespace u = beesim::util;
+
+namespace {
+
+hive::SmartBeehive::Stats run(double bank_mah, bool adaptive,
+                              std::uint64_t seed, double days) {
+  sim::Engine engine;
+  hive::SmartBeehive::Config cfg;
+  cfg.seed = seed;
+  cfg.energy = hive::EnergyChainConfig::nominal(seed);
+  cfg.energy.battery.capacity = util::mah_to_joules(bank_mah, 5.0);
+  cfg.energy.battery.initial_soc = 0.6;
+  cfg.energy.battery.cutoff_soc = 0.05;
+  if (adaptive) cfg.adaptive = hive::AdaptiveWakeupPolicy{};
+  hive::SmartBeehive beehive(engine, cfg, nullptr);
+  engine.run_until(days * u::kDay);
+  beehive.settle();
+  return beehive.stats();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const double days = args.config().get_double("days", 3.0);
+  const auto seed =
+      static_cast<std::uint64_t>(args.config().get_int("seed", 13));
+
+  bench::banner("Ablation", "fixed vs adaptive wake-up scheduling");
+  std::printf("\n%.0f-day runs, healthy solar chain, varying battery bank; "
+              "adaptive policy stretches 10 min -> 30 min -> 2 h as the "
+              "state of charge sags.\n\n", days);
+
+  util::AsciiTable table({"Bank (mAh)", "Schedule", "Outage (h)",
+                          "Routines done", "Routines lost to outage",
+                          "Regime changes"});
+  for (double mah : {1600.0, 2000.0, 2400.0, 3000.0, 20000.0}) {
+    for (bool adaptive : {false, true}) {
+      const auto stats = run(mah, adaptive, seed, days);
+      table.add_row({util::AsciiTable::num(mah, 0),
+                     adaptive ? "adaptive" : "fixed",
+                     util::AsciiTable::num(stats.outage_time / u::kHour, 1),
+                     std::to_string(stats.wakeups_completed),
+                     std::to_string(stats.wakeups_skipped),
+                     std::to_string(stats.regime_transitions)});
+    }
+    table.add_rule();
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nReading: with the deployed 20 Ah bank both schedules ride "
+              "through the night; on undersized banks the adaptive "
+              "schedule trades a fraction of the routines for most of the "
+              "outage hours — the 'choose between a set of scenarios' "
+              "behaviour the paper's conclusion asks for.\n");
+  return 0;
+}

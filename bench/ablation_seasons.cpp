@@ -1,0 +1,111 @@
+// Ablation: seasonal solar conditions vs hive viability. The paper's
+// deployment window is late spring; the related work it cites analyzes
+// solar-panel orientation and sampling power across conditions. This
+// bench runs the discrete-event beehive through summer/equinox/winter
+// irradiance at several wake-up periods and battery banks, and reports
+// the completion rate and outage hours — the data a deployment needs to
+// size its energy chain for year-round operation.
+//
+// Usage: ablation_seasons [days=3] [seed=77]
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "device/autonomy.hpp"
+#include "hive/beehive.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace beesim;
+namespace u = beesim::util;
+
+namespace {
+
+struct Season {
+  const char* name;
+  energy::IrradianceModel::Params params;
+};
+
+hive::SmartBeehive::Stats run(const Season& season, double period_min,
+                              double bank_mah, std::uint64_t seed,
+                              double days, bool adaptive) {
+  sim::Engine engine;
+  hive::SmartBeehive::Config cfg;
+  cfg.seed = seed;
+  cfg.wakeup_period = period_min * u::kMinute;
+  cfg.energy = hive::EnergyChainConfig::nominal(seed);
+  cfg.energy.irradiance = season.params;
+  cfg.energy.irradiance.seed = seed;
+  cfg.energy.battery.capacity = util::mah_to_joules(bank_mah, 5.0);
+  cfg.energy.battery.initial_soc = 0.6;
+  cfg.energy.battery.cutoff_soc = 0.05;
+  if (adaptive) cfg.adaptive = hive::AdaptiveWakeupPolicy{};
+  hive::SmartBeehive beehive(engine, cfg, nullptr);
+  engine.run_until(days * u::kDay);
+  beehive.settle();
+  return beehive.stats();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const double days = args.config().get_double("days", 3.0);
+  const auto seed =
+      static_cast<std::uint64_t>(args.config().get_int("seed", 77));
+
+  bench::banner("Ablation", "seasonal solar conditions vs hive viability");
+
+  const Season seasons[] = {
+      {"summer", energy::IrradianceModel::Params::summer()},
+      {"equinox", energy::IrradianceModel::Params::equinox()},
+      {"winter", energy::IrradianceModel::Params::winter()},
+  };
+
+  std::printf("\n%.0f-day runs per cell; healthy chain, bank and period "
+              "varied.\n\n", days);
+  util::AsciiTable table({"Season", "Bank (mAh)", "Period (min)",
+                          "Completion (%)", "Outage (h)", "Harvested"});
+  for (const auto& season : seasons) {
+    for (double mah : {3000.0, 8000.0, 20000.0}) {
+      for (double period : {10.0, 60.0}) {
+        const auto stats = run(season, period, mah, seed, days, false);
+        const double completion =
+            stats.wakeups_attempted > 0
+                ? 100.0 * static_cast<double>(stats.wakeups_completed) /
+                      static_cast<double>(stats.wakeups_attempted)
+                : 0.0;
+        table.add_row({season.name, util::AsciiTable::num(mah, 0),
+                       util::AsciiTable::num(period, 0),
+                       util::AsciiTable::num(completion, 1),
+                       util::AsciiTable::num(stats.outage_time / u::kHour,
+                                             1),
+                       util::format_joules(stats.harvested)});
+      }
+    }
+    table.add_rule();
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Winter rescue: adaptive scheduling on the deployed bank.
+  std::printf("\nWinter with the deployed 20 Ah bank, 10-min wake-ups:\n");
+  const Season winter = seasons[2];
+  const auto fixed = run(winter, 10.0, 20000.0, seed, days, false);
+  const auto adaptive = run(winter, 10.0, 20000.0, seed, days, true);
+  std::printf("  fixed:    %.1f h outage, %llu routines\n",
+              fixed.outage_time / u::kHour,
+              static_cast<unsigned long long>(fixed.wakeups_completed));
+  std::printf("  adaptive: %.1f h outage, %llu routines "
+              "(%d regime changes)\n",
+              adaptive.outage_time / u::kHour,
+              static_cast<unsigned long long>(adaptive.wakeups_completed),
+              adaptive.regime_transitions);
+
+  std::printf("\nReading: the paper's summer energy budget does not carry "
+              "into winter — shorter, dimmer days push mid-size banks "
+              "into nightly brown-outs at high duty cycles; sizing must "
+              "use the winter column (or accept adaptive throttling).\n");
+  return 0;
+}

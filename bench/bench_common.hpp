@@ -1,0 +1,56 @@
+#pragma once
+
+// Shared scaffolding for the reproduction benches: banner printing,
+// paper-vs-measured summary lines, and key=value CLI parsing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/config.hpp"
+
+namespace beesim::bench {
+
+inline void banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("  (Hadjur, Lefevre, Ammar — PAISE 2023; beesim reproduction)\n");
+  std::printf("================================================================\n");
+}
+
+/// One "paper says X, we measured Y" line for the experiment log.
+inline void check_line(const char* what, double paper, double measured,
+                       const char* unit) {
+  const double rel = paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-58s paper %10.1f %-7s measured %10.1f %-7s (%+.1f%%)\n",
+              what, paper, unit, measured, unit, rel);
+}
+
+inline void check_line_int(const char* what, long paper, long measured) {
+  std::printf("  %-58s paper %10ld         measured %10ld\n", what, paper,
+              measured);
+}
+
+/// Parses key=value args; aborts on unknown keys so typos in sweep
+/// parameters never silently run the default experiment.
+class Args {
+ public:
+  Args(int argc, char** argv) : config_(argc, argv) {}
+
+  util::Config& config() { return config_; }
+
+  ~Args() {
+    const auto unused = config_.unused_keys();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "error: unknown parameter(s):");
+      for (const auto& key : unused) std::fprintf(stderr, " %s", key.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
+
+ private:
+  util::Config config_;
+};
+
+}  // namespace beesim::bench

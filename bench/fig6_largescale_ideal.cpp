@@ -1,0 +1,87 @@
+// Reproduces Fig 6: ideal (no-loss) large-scale simulation of 10-400
+// smart beehives against cloud servers with 10 clients per time slot —
+// servers required, energy per client (edge / server / total), and the
+// convergence of the server share toward its full-capacity floor.
+//
+// Usage: fig6_largescale_ideal [lo=10] [hi=400] [step=10] [parallel=10]
+//                              [service=cnn|svm] [csv=path]
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/network_sim.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using core::ServiceModel;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int lo = static_cast<int>(args.config().get_int("lo", 10));
+  const int hi = static_cast<int>(args.config().get_int("hi", 400));
+  const int step = static_cast<int>(args.config().get_int("step", 10));
+  const int parallel =
+      static_cast<int>(args.config().get_int("parallel", 10));
+  const ServiceModel service =
+      args.config().get_string("service", "cnn") == "svm"
+          ? ServiceModel::kSvm
+          : ServiceModel::kCnn;
+  const std::string csv_path = args.config().get_string("csv", "");
+
+  bench::banner("Fig 6", "ideal large-scale client-server simulation");
+
+  core::LargeScaleSimulator sim(
+      core::FleetParams::paper_default(service, parallel));
+  const auto& server = sim.effective_server();
+  std::printf("\nService: %s | %d clients per slot | %d slots per cycle | "
+              "server capacity %d clients\n",
+              device::to_string(service), parallel,
+              server.slots_per_cycle(), server.capacity());
+
+  util::AsciiTable table({"Clients", "Servers", "Edge J/client",
+                          "Server J/client", "Total J/client"});
+  std::ofstream csv_file;
+  util::CsvWriter csv(csv_file);
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    csv.header({"clients", "servers", "edge_per_client",
+                "server_per_client", "total_per_client"});
+  }
+  for (int n = lo; n <= hi; n += step) {
+    const auto r = sim.simulate_ideal_cycle(n);
+    table.add_row({std::to_string(n), std::to_string(r.servers_used),
+                   util::AsciiTable::num(r.edge_per_client(), 1),
+                   util::AsciiTable::num(r.cloud_per_client(), 1),
+                   util::AsciiTable::num(r.total_per_client(), 1)});
+    if (!csv_path.empty()) {
+      csv.field(static_cast<std::size_t>(n))
+          .field(static_cast<std::size_t>(r.servers_used))
+          .field(r.edge_per_client())
+          .field(r.cloud_per_client())
+          .field(r.total_per_client());
+      csv.end_row();
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto full = sim.simulate_ideal_cycle(server.capacity());
+  std::printf("\nFig 6 anchors (paper, CNN service, 10 per slot):\n");
+  bench::check_line("edge energy per client (flat)", 322.0,
+                    full.edge_per_client(), "J");
+  bench::check_line("server energy per client at full capacity", 116.0,
+                    full.cloud_per_client(), "J");
+  bench::check_line("best total per beehive", 438.0,
+                    full.total_per_client(), "J");
+  const double edge_only =
+      core::edge_cycle_energy(core::Placement::kEdgeOnly, service);
+  bench::check_line(
+      "edge+cloud premium over edge-only at best point", 16.0,
+      (full.total_per_client() - edge_only) / full.total_per_client() *
+          100.0,
+      "%");
+  if (!csv_path.empty())
+    std::printf("\nSeries written to %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Fig 7: end-to-end energy per client for the edge vs
+// edge+cloud scenarios over 100-2000 clients, at 10 (Fig 7a) and 35
+// (Fig 7b) clients per time slot — including the paper's three headline
+// placement numbers: the 26-per-slot capacity tipping point, the ~406
+// client crossover, and the ~803 "always better from here" fleet size.
+//
+// Usage: fig7_crossover [lo=100] [hi=2000] [step=100] [service=cnn|svm]
+//                       [csv=path]
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/placement.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using core::PlacementAdvisor;
+using core::ServiceModel;
+
+namespace {
+
+void sweep_panel(const char* panel, int parallel, ServiceModel service,
+                 int lo, int hi, int step, util::CsvWriter* csv) {
+  PlacementAdvisor::Options opt;
+  opt.service = service;
+  opt.max_parallel = parallel;
+  PlacementAdvisor advisor(opt);
+
+  std::printf("\n--- Fig %s: %d clients allowed in parallel per slot ---\n\n",
+              panel, parallel);
+  util::AsciiTable table({"Clients", "Edge-only J/client",
+                          "Edge+cloud J/client", "Winner"});
+  for (int n = lo; n <= hi; n += step) {
+    const auto cmp = advisor.compare(n);
+    table.add_row({std::to_string(n),
+                   util::AsciiTable::num(cmp.edge_only_per_client, 1),
+                   util::AsciiTable::num(cmp.edge_cloud_per_client, 1),
+                   cmp.edge_cloud_wins ? "edge+cloud" : "edge"});
+    if (csv != nullptr) {
+      csv->field(std::string(panel))
+          .field(static_cast<std::size_t>(n))
+          .field(cmp.edge_only_per_client)
+          .field(cmp.edge_cloud_per_client);
+      csv->end_row();
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto crossover = advisor.first_crossover(lo, hi);
+  const auto always = advisor.always_better_from(lo, 2 * hi);
+  const auto best = advisor.max_advantage(lo, hi);
+  if (crossover.has_value()) {
+    bench::check_line_int("first crossover (paper: 406 at 35/slot)",
+                          parallel == 35 ? 406 : -1, *crossover);
+    bench::check_line("max edge+cloud advantage (paper: 12.5 J @ 630)",
+                      parallel == 35 ? 12.5 : 0.0, best.advantage(), "J");
+    bench::check_line_int("  ... attained at fleet size", 630,
+                          best.clients);
+    if (always.has_value())
+      bench::check_line_int("always better from (paper: 803)",
+                            parallel == 35 ? 803 : -1, *always);
+  } else {
+    std::printf("  edge+cloud never wins in this range "
+                "(paper Fig 7a: the whole range is edge-favoured)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int lo = static_cast<int>(args.config().get_int("lo", 100));
+  const int hi = static_cast<int>(args.config().get_int("hi", 2000));
+  const int step = static_cast<int>(args.config().get_int("step", 100));
+  const ServiceModel service =
+      args.config().get_string("service", "cnn") == "svm"
+          ? ServiceModel::kSvm
+          : ServiceModel::kCnn;
+  const std::string csv_path = args.config().get_string("csv", "");
+
+  bench::banner("Fig 7", "edge vs edge+cloud crossover analysis");
+
+  std::ofstream csv_file;
+  util::CsvWriter csv(csv_file);
+  util::CsvWriter* csv_ptr = nullptr;
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    csv.header({"panel", "clients", "edge_only", "edge_cloud"});
+    csv_ptr = &csv;
+  }
+
+  sweep_panel("7a", 10, service, lo, hi, step, csv_ptr);
+  sweep_panel("7b", 35, service, lo, hi, step, csv_ptr);
+
+  std::printf("\nCapacity tipping point:\n");
+  bench::check_line_int(
+      "min clients/slot for edge+cloud viability (paper: 26)", 26,
+      PlacementAdvisor::min_viable_parallel(service));
+  if (!csv_path.empty())
+    std::printf("\nSeries written to %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks for the substrate kernels: FFT, mel
+// spectrogram, CNN forward pass, SVM kernel evaluation, the analytic
+// large-scale simulator, and the discrete-event engine. These are the
+// hot paths of every figure bench; regressions here make the reproduction
+// slow long before they make it wrong.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "audio/synth.hpp"
+#include "core/network_sim.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrogram.hpp"
+#include "ml/network.hpp"
+#include "ml/svm.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace beesim;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<dsp::Complex> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_MelSpectrogram(benchmark::State& state) {
+  const double seconds = static_cast<double>(state.range(0)) / 10.0;
+  audio::BeeAudioSynth synth;
+  util::Rng rng(2);
+  const auto clip = synth.synthesize(true, seconds, rng);
+  dsp::MelSpectrogram mel;
+  for (auto _ : state) {
+    auto m = mel.compute(clip);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_MelSpectrogram)->Arg(5)->Arg(10)->Arg(30);  // 0.5 / 1 / 3 s
+
+void BM_AudioSynthesis(benchmark::State& state) {
+  audio::BeeAudioSynth synth;
+  util::Rng rng(3);
+  const double seconds = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    auto clip = synth.synthesize(false, seconds, rng);
+    benchmark::DoNotOptimize(clip.data());
+  }
+}
+BENCHMARK(BM_AudioSynthesis)->Arg(10)->Arg(100);
+
+void BM_CnnForward(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  auto net = ml::make_queen_cnn(rng, 8, side);
+  ml::Tensor input({1, 1, side, side});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    auto out = net.forward(input, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CnnForward)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_SvmDecision(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<bool> y;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(128);
+    const bool cls = i % 2 == 0;
+    for (auto& v : row) v = rng.normal(cls ? 1.0 : -1.0, 1.0);
+    x.push_back(std::move(row));
+    y.push_back(cls);
+  }
+  ml::SvmClassifier::Params p;
+  p.gamma = 0.01;
+  ml::SvmClassifier svm(p);
+  svm.fit(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm.decision(x[0]));
+  }
+  state.counters["support_vectors"] =
+      static_cast<double>(svm.support_vector_count());
+}
+BENCHMARK(BM_SvmDecision);
+
+void BM_LargeScaleCycle(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  for (auto _ : state) {
+    auto r = sim.simulate_ideal_cycle(clients);
+    benchmark::DoNotOptimize(r.cloud_energy);
+  }
+}
+BENCHMARK(BM_LargeScaleCycle)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EngineEvents(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::uint64_t i = 0; i < events; ++i)
+      engine.schedule_at(static_cast<double>(i), [](sim::Engine&) {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineEvents)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces Table I: per-task time and energy of the Raspberry Pi 3B+
+// over one wake-up cycle in the two *edge* queen-detection scenarios
+// (SVM and CNN executed on the beehive itself).
+//
+// Usage: table1_edge_scenarios [cycle=300]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using core::Placement;
+using core::ServiceModel;
+
+namespace {
+
+void print_scenario(ServiceModel service, util::Seconds cycle,
+                    double paper_total) {
+  const auto table =
+      core::build_scenario_table(Placement::kEdgeOnly, service, cycle);
+  std::printf("\nScenario: Edge (%s), %.0f-second cycle\n",
+              device::to_string(service), cycle);
+  util::AsciiTable out({"Edge Task", "Energy of Edge (joules)",
+                        "Time (seconds)"});
+  for (const auto& row : table.rows)
+    out.add_row({row.edge_task, util::AsciiTable::num(row.edge_energy, 1),
+                 util::AsciiTable::num(row.time, 1)});
+  out.add_rule();
+  out.add_row({"Total", util::AsciiTable::num(table.edge_total(), 1),
+               util::AsciiTable::num(table.time_total(), 0)});
+  std::printf("%s", out.render().c_str());
+  if (cycle == 300.0)
+    bench::check_line("total edge energy per 5-minute cycle", paper_total,
+                      table.edge_total(), "J");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const double cycle = args.config().get_double("cycle", 300.0);
+
+  bench::banner("Table I", "edge scenarios: per-task time and energy");
+  print_scenario(ServiceModel::kSvm, cycle, 366.3);
+  print_scenario(ServiceModel::kCnn, cycle, 367.5);
+
+  // The paper's observation that the model choice barely matters at the
+  // edge (1.2 J between SVM and CNN).
+  const double svm =
+      core::edge_cycle_energy(Placement::kEdgeOnly, ServiceModel::kSvm);
+  const double cnn =
+      core::edge_cycle_energy(Placement::kEdgeOnly, ServiceModel::kCnn);
+  std::printf("\n");
+  bench::check_line("SVM-vs-CNN edge energy difference", 1.2, cnn - svm,
+                    "J");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table II: per-task time and energy of the edge device AND
+// the cloud server over one wake-up cycle in the two *edge+cloud*
+// queen-detection scenarios (inference runs on the server).
+//
+// Usage: table2_edgecloud_scenarios [cycle=300]
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using core::Placement;
+using core::ServiceModel;
+
+namespace {
+
+void print_scenario(ServiceModel service, util::Seconds cycle,
+                    double paper_edge, double paper_cloud) {
+  const auto table =
+      core::build_scenario_table(Placement::kEdgeCloud, service, cycle);
+  std::printf("\nScenario: Edge+Cloud (%s), %.0f-second cycle\n",
+              device::to_string(service), cycle);
+  util::AsciiTable out({"Edge Task", "Energy of Edge (J)",
+                        "Cloud Server Task", "Energy of Cloud Server (J)",
+                        "Time (s)"});
+  for (const auto& row : table.rows)
+    out.add_row({row.edge_task, util::AsciiTable::num(row.edge_energy, 1),
+                 row.cloud_task,
+                 util::AsciiTable::num(row.cloud_energy, 1),
+                 util::AsciiTable::num(row.time, 1)});
+  out.add_rule();
+  out.add_row({"Total", util::AsciiTable::num(table.edge_total(), 1), "",
+               util::AsciiTable::num(table.cloud_total(), 1),
+               util::AsciiTable::num(table.time_total(), 0)});
+  std::printf("%s", out.render().c_str());
+  if (cycle == 300.0) {
+    bench::check_line("edge energy per cycle", paper_edge,
+                      table.edge_total(), "J");
+    bench::check_line("cloud energy per cycle", paper_cloud,
+                      table.cloud_total(), "J");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const double cycle = args.config().get_double("cycle", 300.0);
+
+  bench::banner("Table II",
+                "edge+cloud scenarios: per-task time and energy");
+  print_scenario(ServiceModel::kSvm, cycle, 322.0, 13744.3);
+  print_scenario(ServiceModel::kCnn, cycle, 322.0, 13806.0);
+
+  // Edge energy saved by offloading (paper: 12.1 % / 12.4 %).
+  std::printf("\n");
+  for (auto service : {ServiceModel::kSvm, ServiceModel::kCnn}) {
+    const double edge =
+        core::edge_cycle_energy(Placement::kEdgeOnly, service);
+    const double offloaded =
+        core::edge_cycle_energy(Placement::kEdgeCloud, service);
+    const double paper = service == ServiceModel::kSvm ? 12.1 : 12.4;
+    char label[64];
+    std::snprintf(label, sizeof label, "edge energy saved by offload (%s)",
+                  device::to_string(service));
+    bench::check_line(label, paper, (edge - offloaded) / edge * 100.0, "%");
+  }
+  return 0;
+}

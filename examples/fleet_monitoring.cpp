@@ -1,0 +1,122 @@
+// Operate the paper's actual deployment — two apiary sites (Cachan: 2
+// hives, Lyon: 3 hives) — for a simulated week: train the queen detector
+// once, serialize it for the edge devices, run the fleet, and print a
+// site-by-site operations report.
+//
+//   $ ./fleet_monitoring [days=7] [out_dir=.]
+
+#include <cstdio>
+#include <fstream>
+
+#include "audio/dataset.hpp"
+#include "hive/apiary.hpp"
+#include "ml/metrics.hpp"
+#include "ml/serialize.hpp"
+#include "ml/svm.hpp"
+#include "sim/engine.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace beesim;
+namespace u = beesim::util;
+
+int main(int argc, char** argv) {
+  util::Config config(argc, argv);
+  const double days = config.get_double("days", 7.0);
+  const std::string out_dir = config.get_string("out_dir", ".");
+
+  std::printf("fleet monitoring\n================\n\n");
+
+  // ---- 1. Train the queen detector once, package it for the edge ------
+  std::printf("Training the queen detector for deployment...\n");
+  audio::DatasetParams data;
+  data.count = 160;
+  data.clip_seconds = 1.2;
+  const auto ds = audio::generate_queen_dataset(data);
+  const auto split = audio::split_dataset(ds, 0.25);
+  std::vector<std::vector<double>> train_x;
+  std::vector<bool> train_y;
+  for (auto i : split.train) {
+    train_x.push_back(ds.examples[i].features);
+    train_y.push_back(ds.examples[i].queen_present);
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(train_x);
+  ml::SvmClassifier::Params svm_params;
+  svm_params.c = 20.0;
+  svm_params.gamma = 0.01;
+  ml::SvmClassifier svm(svm_params);
+  svm.fit(scaler.transform(train_x), train_y);
+
+  const std::string model_path = out_dir + "/queen_detector.svm";
+  {
+    std::ofstream model_file(model_path);
+    ml::save_scaler(scaler, model_file);
+    ml::save_svm(svm, model_file);
+  }
+  // Sanity: reload and check held-out accuracy, like the edge would.
+  std::ifstream model_file(model_path);
+  const auto edge_scaler = ml::load_scaler(model_file);
+  const auto edge_svm = ml::load_svm(model_file);
+  std::vector<bool> pred;
+  std::vector<bool> truth;
+  for (auto i : split.test) {
+    pred.push_back(
+        edge_svm.predict(edge_scaler.transform(ds.examples[i].features)));
+    truth.push_back(ds.examples[i].queen_present);
+  }
+  std::printf("  model packaged to %s (%zu support vectors, held-out "
+              "accuracy %.3f)\n\n",
+              model_path.c_str(), edge_svm.support_vector_count(),
+              ml::confusion(pred, truth).accuracy());
+
+  // ---- 2. Run the two-site deployment for a week ----------------------
+  std::printf("Simulating %.0f days across Cachan (2 hives) and Lyon "
+              "(3 hives)...\n\n", days);
+  sim::Engine engine;
+  hive::SmartBeehive::Config hive_template;
+  hive_template.wakeup_period = 10.0 * u::kMinute;
+  hive_template.energy = hive::EnergyChainConfig::undersized(0);
+  hive_template.adaptive = hive::AdaptiveWakeupPolicy{};  // survive nights
+  auto sites = hive::paper_deployment(engine, hive_template);
+  engine.run_until(days * u::kDay);
+
+  util::AsciiTable report({"Site", "Hives", "Routines done",
+                           "Completion", "Consumed", "Harvested",
+                           "Outage (h)", "Hives w/ outage"});
+  for (const auto& site : sites) {
+    site->settle();
+    const auto stats = site->site_stats();
+    report.add_row({site->config().name,
+                    std::to_string(site->size()),
+                    std::to_string(stats.wakeups_completed),
+                    util::AsciiTable::num(stats.completion_rate() * 100.0,
+                                          1) + " %",
+                    util::format_joules(stats.consumed),
+                    util::format_joules(stats.harvested),
+                    util::AsciiTable::num(stats.total_outage / u::kHour, 1),
+                    std::to_string(stats.hives_with_outage)});
+  }
+  std::printf("%s", report.render().c_str());
+
+  // ---- 3. Per-hive detail for the ops log ------------------------------
+  std::printf("\nPer-hive detail:\n");
+  for (const auto& site : sites) {
+    for (std::size_t i = 0; i < site->size(); ++i) {
+      const auto stats = site->hive(i).stats();
+      std::printf("  %s/hive-%zu: %llu/%llu routines, battery %3.0f %%, "
+                  "period now %s\n",
+                  site->config().name.c_str(), i + 1,
+                  static_cast<unsigned long long>(stats.wakeups_completed),
+                  static_cast<unsigned long long>(stats.wakeups_attempted),
+                  site->hive(i).energy_node().battery().state_of_charge() *
+                      100.0,
+                  util::format_duration(site->hive(i).wakeup_period())
+                      .c_str());
+    }
+  }
+  std::printf("\nThe serialized detector plus these duty-cycle reports are "
+              "exactly what a beekeeper-facing dashboard would consume.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: simulate one solar-powered smart beehive for 24 hours and
+// decide where its queen-detection service should run.
+//
+//   $ ./quickstart
+//
+// Walks through the three layers of the library:
+//   1. device/energy  — a calibrated Raspberry Pi beehive on a solar chain
+//   2. core/scenario  — the per-cycle cost tables (paper Tables I/II)
+//   3. core/placement — the fleet-level edge-vs-cloud decision
+
+#include <cstdio>
+
+#include "core/placement.hpp"
+#include "core/scenario.hpp"
+#include "hive/beehive.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+using namespace beesim;
+namespace u = beesim::util;
+
+int main() {
+  std::printf("beesim quickstart\n=================\n\n");
+
+  // --- 1. One smart beehive, one simulated day -------------------------
+  sim::Engine engine;
+  hive::SmartBeehive::Config config;
+  config.seed = 1;
+  config.wakeup_period = 10.0 * u::kMinute;
+  config.energy = hive::EnergyChainConfig::nominal(config.seed);
+  hive::SmartBeehive beehive(engine, config, nullptr);
+
+  engine.run_until(1.0 * u::kDay);
+  beehive.settle();
+  const auto stats = beehive.stats();
+
+  std::printf("Simulated 24 h of a smart beehive (10-minute wake-ups):\n");
+  std::printf("  wake-ups: %llu attempted, %llu completed\n",
+              static_cast<unsigned long long>(stats.wakeups_attempted),
+              static_cast<unsigned long long>(stats.wakeups_completed));
+  std::printf("  energy: consumed %s, harvested %s\n",
+              util::format_joules(stats.consumed).c_str(),
+              util::format_joules(stats.harvested).c_str());
+  std::printf("  battery: %.0f %% state of charge at midnight\n\n",
+              beehive.energy_node().battery().state_of_charge() * 100.0);
+
+  // --- 2. What does one service cycle cost? ----------------------------
+  const auto edge = core::build_scenario_table(core::Placement::kEdgeOnly,
+                                               core::ServiceModel::kCnn);
+  const auto cloud = core::build_scenario_table(
+      core::Placement::kEdgeCloud, core::ServiceModel::kCnn);
+  std::printf("Queen detection (CNN), one 5-minute cycle:\n");
+  std::printf("  run it on the hive:   %.1f J at the edge, no server\n",
+              edge.edge_total());
+  std::printf("  ship audio to cloud:  %.1f J at the edge + %.1f J on the "
+              "server\n\n",
+              cloud.edge_total(), cloud.cloud_total());
+
+  // --- 3. Where should a whole apiary run it? --------------------------
+  for (const int hives : {5, 100, 700}) {
+    core::PlacementAdvisor::Options options;
+    options.max_parallel = 35;
+    core::PlacementAdvisor advisor(options);
+    const auto verdict = advisor.compare(hives);
+    std::printf("Fleet of %4d hives (35 per server slot): run the service "
+                "%s  (%.1f vs %.1f J per hive per cycle)\n",
+                hives,
+                verdict.edge_cloud_wins ? "in the CLOUD" : "at the EDGE ",
+                verdict.edge_cloud_per_client,
+                verdict.edge_only_per_client);
+  }
+  std::printf("\nSmall apiaries keep the work on the hive; the cloud only "
+              "pays off when a server can stay nearly full.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the beesim benches export.
+
+The bench binaries reproduce the paper's figures as tables; this helper
+turns their CSV exports into PNG plots for visual comparison with the
+paper. Matplotlib is the only dependency.
+
+Usage:
+    ./build/bench/fig6_largescale_ideal csv=fig6.csv
+    ./build/bench/fig7_crossover csv=fig7.csv
+    ./build/bench/fig8_losses csv=fig8.csv
+    python3 scripts/plot_figures.py fig6.csv fig7.csv fig8.csv -o plots/
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit(f"{path}: empty CSV")
+    return rows
+
+
+def plot_fig6(rows, ax):
+    n = [int(r["clients"]) for r in rows]
+    ax.plot(n, [float(r["edge_per_client"]) for r in rows],
+            color="tab:red", label="edge devices (per client)")
+    ax.plot(n, [float(r["server_per_client"]) for r in rows],
+            color="black", label="servers (per client)")
+    ax.plot(n, [float(r["total_per_client"]) for r in rows],
+            color="tab:blue", label="total (per client)")
+    ax.set_xlabel("number of clients")
+    ax.set_ylabel("energy per client per cycle (J)")
+    ax.set_title("Fig 6 — ideal large-scale simulation")
+    ax.legend()
+
+
+def plot_fig7(rows, ax):
+    for panel, style in (("7a", "--"), ("7b", "-")):
+        sub = [r for r in rows if r["panel"] == panel]
+        if not sub:
+            continue
+        n = [int(r["clients"]) for r in sub]
+        ax.plot(n, [float(r["edge_only"]) for r in sub], style,
+                color="tab:blue", label=f"edge-only ({panel})")
+        ax.plot(n, [float(r["edge_cloud"]) for r in sub], style,
+                color="tab:green", label=f"edge+cloud ({panel})")
+    ax.set_xlabel("number of clients")
+    ax.set_ylabel("energy per client per cycle (J)")
+    ax.set_title("Fig 7 — edge vs edge+cloud crossover")
+    ax.legend()
+
+
+def plot_fig8(rows, ax):
+    colors = {"8a": "tab:orange", "8b": "tab:purple", "8c": "tab:brown",
+              "8d": "black"}
+    for panel, color in colors.items():
+        sub = [r for r in rows if r["panel"] == panel]
+        if not sub:
+            continue
+        n = [int(r["clients"]) for r in sub]
+        ax.plot(n, [float(r["server_per_client"]) for r in sub],
+                color=color, label=f"loss {panel[-1].upper()}")
+    ax.set_xlabel("initial number of clients")
+    ax.set_ylabel("server energy per client (J)")
+    ax.set_title("Fig 8 — losses")
+    ax.legend()
+
+
+PLOTTERS = {
+    ("clients", "servers", "edge_per_client"): plot_fig6,
+    ("panel", "clients", "edge_only"): plot_fig7,
+    ("panel", "clients", "lost"): plot_fig8,
+}
+
+
+def pick_plotter(rows):
+    header = set(rows[0].keys())
+    for signature, plotter in PLOTTERS.items():
+        if set(signature) <= header:
+            return plotter
+    sys.exit(f"unrecognized CSV header: {sorted(header)}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="CSV files from the benches")
+    parser.add_argument("-o", "--out-dir", default=".",
+                        help="directory for the PNG outputs")
+    args = parser.parse_args()
+
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for path in args.csvs:
+        rows = read_csv(path)
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        pick_plotter(rows)(rows, ax)
+        ax.grid(True, alpha=0.3)
+        out = os.path.join(
+            args.out_dir,
+            os.path.splitext(os.path.basename(path))[0] + ".png")
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

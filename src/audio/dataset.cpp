@@ -1,0 +1,83 @@
+#include "audio/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/features.hpp"
+#include "dsp/mel.hpp"
+#include "dsp/stft.hpp"
+
+namespace beesim::audio {
+
+dsp::Matrix QueenDataset::image(std::size_t i, std::size_t side) const {
+  const auto& ex = examples.at(i);
+  dsp::Matrix img = dsp::resize_bilinear(ex.mel_db, side, side);
+  const double lo = img.min();
+  const double hi = img.max();
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (std::size_t r = 0; r < img.rows(); ++r)
+    for (std::size_t c = 0; c < img.cols(); ++c)
+      img(r, c) = (img(r, c) - lo) / span;
+  return img;
+}
+
+QueenDataset generate_queen_dataset(const DatasetParams& params) {
+  if (params.count <= 1)
+    throw std::invalid_argument("generate_queen_dataset: count too small");
+  BeeAudioSynth synth(params.synth);
+  dsp::MelSpectrogram mel(params.mel);
+  util::Rng rng(params.seed);
+
+  QueenDataset ds;
+  ds.mel_params = params.mel;
+  ds.examples.reserve(static_cast<std::size_t>(params.count));
+  for (int i = 0; i < params.count; ++i) {
+    const bool queen = (i % 2) == 0;  // balanced, interleaved classes
+    const auto clip = synth.synthesize(queen, params.clip_seconds, rng);
+    QueenExample ex;
+    ex.queen_present = queen;
+    ex.mel_db = dsp::power_to_db(mel.compute(clip));
+    ex.features.resize(ex.mel_db.rows());
+    for (std::size_t m = 0; m < ex.mel_db.rows(); ++m) {
+      double acc = 0.0;
+      for (std::size_t f = 0; f < ex.mel_db.cols(); ++f)
+        acc += ex.mel_db(m, f);
+      ex.features[m] = acc / static_cast<double>(ex.mel_db.cols());
+    }
+    if (params.extended_features) {
+      dsp::StftParams sp;
+      sp.n_fft = params.mel.n_fft;
+      sp.hop = params.mel.hop;
+      const auto power = dsp::stft_power(clip, sp);
+      const auto descriptor =
+          dsp::spectral_descriptor(power, params.mel.sample_rate);
+      ex.features.insert(ex.features.end(), descriptor.begin(),
+                         descriptor.end());
+    }
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+DatasetSplit split_dataset(const QueenDataset& dataset,
+                           double test_fraction) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("split_dataset: fraction out of (0, 1)");
+  DatasetSplit split;
+  const auto stride =
+      static_cast<std::size_t>(std::max(2.0, 1.0 / test_fraction));
+  // Stratified: stride within each class, so a stride that happens to
+  // divide the class interleave cannot produce a one-class test set.
+  std::size_t per_class_index[2] = {0, 0};
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const std::size_t cls = dataset.examples[i].queen_present ? 1 : 0;
+    if (per_class_index[cls]++ % stride == stride - 1)
+      split.test.push_back(i);
+    else
+      split.train.push_back(i);
+  }
+  return split;
+}
+
+}  // namespace beesim::audio

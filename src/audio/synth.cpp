@@ -1,0 +1,107 @@
+#include "audio/synth.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace beesim::audio {
+
+BeeAudioSynth::BeeAudioSynth() : BeeAudioSynth(Params{}) {}
+
+BeeAudioSynth::BeeAudioSynth(const Params& params) : params_(params) {
+  if (params_.sample_rate <= 0.0 || params_.harmonics < 1 ||
+      params_.fundamental_hz <= 0.0)
+    throw std::invalid_argument("BeeAudioSynth: invalid params");
+}
+
+std::vector<double> BeeAudioSynth::synthesize(bool queen_present,
+                                              double seconds,
+                                              util::Rng& rng) const {
+  if (seconds <= 0.0)
+    throw std::invalid_argument("BeeAudioSynth: non-positive duration");
+  const auto n = static_cast<std::size_t>(seconds * params_.sample_rate);
+  const double dt = 1.0 / params_.sample_rate;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  // Per-recording colony state.
+  double f0 = rng.normal(params_.fundamental_hz, params_.fundamental_jitter);
+  if (!queen_present) f0 *= 1.0 + params_.roar_shift * rng.uniform(0.7, 1.3);
+  const double am_depth = queen_present
+                              ? params_.am_depth_queenright
+                              : params_.am_depth_queenless;
+  const double am_rate = rng.uniform(0.3, queen_present ? 1.2 : 3.5);
+  const double am_phase = rng.uniform(0.0, kTwoPi);
+  const double piping = queen_present
+                            ? 0.0
+                            : params_.piping_gain * rng.uniform(0.6, 1.4);
+  const double piping_hz = rng.normal(params_.piping_hz, 12.0);
+  const double vibrato_hz = rng.uniform(0.1, 0.5);
+  const double vibrato_depth = rng.uniform(0.001, 0.006);
+
+  // Per-recording spectral colouration (class-independent nuisance): two
+  // slow sinusoidal ripples on the log-amplitude axis (microphone
+  // placement, comb build-up, propolis on the grid). See Params docs.
+  const double r1 = rng.uniform(0.0, params_.spectral_ripple);
+  const double r2 = rng.uniform(0.0, params_.spectral_ripple * 0.6);
+  const double rp1 = rng.uniform(0.0, kTwoPi);
+  const double rp2 = rng.uniform(0.0, kTwoPi);
+  auto colour = [&](double freq) {
+    return std::exp(r1 * std::sin(kTwoPi * freq / 520.0 + rp1) +
+                    r2 * std::sin(kTwoPi * freq / 1700.0 + rp2));
+  };
+
+  // Per-partial amplitudes and phases.
+  std::vector<double> amp(static_cast<std::size_t>(params_.harmonics));
+  std::vector<double> phase(amp.size());
+  for (std::size_t h = 0; h < amp.size(); ++h) {
+    double a = std::pow(params_.harmonic_decay, static_cast<double>(h));
+    if (!queen_present) {
+      // Tilt: upper partials gain relative energy in the roar.
+      a *= 1.0 + params_.roar_tilt * static_cast<double>(h) /
+                     static_cast<double>(amp.size());
+    }
+    a *= colour(f0 * static_cast<double>(h + 1));
+    amp[h] = a * rng.uniform(0.85, 1.15);
+    phase[h] = rng.uniform(0.0, kTwoPi);
+  }
+
+  std::vector<double> out(n);
+  double piping_phase = rng.uniform(0.0, kTwoPi);
+  // One-pole low-pass state for the broadband colony noise (~1.5 kHz).
+  double lp = 0.0;
+  const double lp_alpha =
+      1.0 - std::exp(-kTwoPi * 1500.0 / params_.sample_rate);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double vibrato =
+        1.0 + vibrato_depth * std::sin(kTwoPi * vibrato_hz * t);
+    const double am =
+        1.0 + am_depth * std::sin(kTwoPi * am_rate * t + am_phase);
+    double s = 0.0;
+    for (std::size_t h = 0; h < amp.size(); ++h) {
+      const double freq = f0 * static_cast<double>(h + 1) * vibrato;
+      s += amp[h] * std::sin(kTwoPi * freq * t + phase[h]);
+    }
+    s *= am;
+    if (piping > 0.0) {
+      // Worker piping comes in slow bursts (~0.8 Hz gate).
+      const double gate =
+          0.5 * (1.0 + std::sin(kTwoPi * 0.8 * t + am_phase));
+      s += piping * gate * std::sin(kTwoPi * piping_hz * t + piping_phase);
+    }
+    lp += lp_alpha * (rng.normal(0.0, 1.0) - lp);
+    s += params_.noise_level * lp;
+    out[i] = s;
+  }
+
+  // Normalize to ~unit RMS so recording level is not a class cue.
+  double rms = 0.0;
+  for (double v : out) rms += v * v;
+  rms = std::sqrt(rms / static_cast<double>(n));
+  if (rms > 0.0)
+    for (double& v : out) v /= rms;
+  return out;
+}
+
+}  // namespace beesim::audio

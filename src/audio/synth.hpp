@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace beesim::audio {
+
+/// Synthetic in-hive acoustics. Substitutes for the paper's 1647 labeled
+/// microphone recordings (queen present / queen absent), which are not
+/// public. The model follows the bee-acoustics literature the paper builds
+/// on:
+///
+///  - a harmonic "hive hum" stack on a fundamental near 230 Hz whose
+///    partial amplitudes decay geometrically, with slow amplitude and
+///    frequency modulation (fanning/ventilation activity);
+///  - broadband colony noise, low-pass shaped;
+///  - queenright colonies: stable hum, energy concentrated on the low
+///    partials;
+///  - queenless colonies: the well-documented "queenless roar" — the hum
+///    shifts up (~+15 % fundamental), the upper partials gain energy, a
+///    narrowband worker-piping component appears near 450 Hz, and the
+///    amplitude modulation gets deeper and more erratic.
+///
+/// The discriminative cues are narrowband, so classification accuracy
+/// degrades when the mel image is downsampled hard — reproducing the
+/// accuracy-vs-resolution shape of Fig 5.
+class BeeAudioSynth {
+ public:
+  struct Params {
+    double sample_rate = 22050.0;
+    double fundamental_hz = 230.0;    // queenright hum fundamental
+    double fundamental_jitter = 8.0;  // per-recording sigma
+    int harmonics = 8;
+    double harmonic_decay = 0.55;     // amplitude ratio between partials
+    double noise_level = 0.18;        // broadband noise RMS vs hum
+    /// Queenless signature strengths; lowering these makes the task
+    /// harder (class overlap increases).
+    double roar_shift = 0.15;         // fractional fundamental shift
+    double roar_tilt = 0.35;          // extra energy on upper partials
+    double piping_gain = 0.12;        // 450 Hz worker piping amplitude
+    double piping_hz = 450.0;
+    double am_depth_queenright = 0.08;
+    double am_depth_queenless = 0.25;
+    /// Per-recording smooth spectral colouration (microphone placement,
+    /// comb build-up, propolis on the grid). A class-independent nuisance:
+    /// it swamps coarse band-energy statistics, so classifiers need enough
+    /// spectral resolution to see the narrow class cues — the mechanism
+    /// behind Fig 5's accuracy-vs-resolution shape. Log-amplitude units.
+    double spectral_ripple = 0.7;
+  };
+
+  BeeAudioSynth();  // defaults above
+  explicit BeeAudioSynth(const Params& params);
+
+  /// One mono recording of `seconds` length. Per-recording parameters
+  /// (exact fundamental, modulation phases, noise) are drawn from `rng`,
+  /// so successive calls give distinct colony states.
+  std::vector<double> synthesize(bool queen_present, double seconds,
+                                 util::Rng& rng) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace beesim::audio

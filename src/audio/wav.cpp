@@ -1,0 +1,115 @@
+#include "audio/wav.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace beesim::audio {
+namespace {
+
+void put_u32(std::ofstream& out, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(b, 4);
+}
+
+void put_u16(std::ofstream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+
+std::uint32_t get_u32(std::ifstream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint16_t get_u16(std::ifstream& in) {
+  unsigned char b[2];
+  in.read(reinterpret_cast<char*>(b), 2);
+  return static_cast<std::uint16_t>(b[0] |
+                                    (static_cast<std::uint16_t>(b[1]) << 8));
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const std::vector<double>& samples,
+               double sample_rate) {
+  if (sample_rate <= 0.0)
+    throw std::invalid_argument("write_wav: bad sample rate");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_wav: cannot open " + path);
+
+  const auto data_bytes = static_cast<std::uint32_t>(samples.size() * 2);
+  const auto rate = static_cast<std::uint32_t>(sample_rate);
+  out.write("RIFF", 4);
+  put_u32(out, 36 + data_bytes);
+  out.write("WAVE", 4);
+  out.write("fmt ", 4);
+  put_u32(out, 16);
+  put_u16(out, 1);  // PCM
+  put_u16(out, 1);  // mono
+  put_u32(out, rate);
+  put_u32(out, rate * 2);  // byte rate
+  put_u16(out, 2);         // block align
+  put_u16(out, 16);        // bits per sample
+  out.write("data", 4);
+  put_u32(out, data_bytes);
+  for (double s : samples) {
+    const double clipped = std::clamp(s, -1.0, 1.0);
+    const auto v = static_cast<std::int16_t>(clipped * 32767.0);
+    put_u16(out, static_cast<std::uint16_t>(v));
+  }
+  if (!out) throw std::runtime_error("write_wav: write failed for " + path);
+}
+
+WavData read_wav(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_wav: cannot open " + path);
+  char tag[5] = {};
+  in.read(tag, 4);
+  if (std::strncmp(tag, "RIFF", 4) != 0)
+    throw std::runtime_error("read_wav: not a RIFF file");
+  get_u32(in);  // file size
+  in.read(tag, 4);
+  if (std::strncmp(tag, "WAVE", 4) != 0)
+    throw std::runtime_error("read_wav: not a WAVE file");
+
+  WavData wav;
+  std::uint16_t channels = 0;
+  std::uint16_t bits = 0;
+  while (in.read(tag, 4)) {
+    const std::uint32_t chunk_size = get_u32(in);
+    if (std::strncmp(tag, "fmt ", 4) == 0) {
+      const std::uint16_t format = get_u16(in);
+      channels = get_u16(in);
+      wav.sample_rate = get_u32(in);
+      get_u32(in);  // byte rate
+      get_u16(in);  // block align
+      bits = get_u16(in);
+      if (format != 1 || channels != 1 || bits != 16)
+        throw std::runtime_error("read_wav: only 16-bit mono PCM supported");
+      in.ignore(chunk_size - 16);
+    } else if (std::strncmp(tag, "data", 4) == 0) {
+      const std::size_t count = chunk_size / 2;
+      wav.samples.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto v = static_cast<std::int16_t>(get_u16(in));
+        wav.samples[i] = static_cast<double>(v) / 32767.0;
+      }
+      break;
+    } else {
+      in.ignore(chunk_size);
+    }
+  }
+  if (wav.sample_rate <= 0.0 || wav.samples.empty())
+    throw std::runtime_error("read_wav: missing fmt/data chunk");
+  return wav;
+}
+
+}  // namespace beesim::audio

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace beesim::audio {
+
+/// Minimal 16-bit mono PCM WAV I/O, enough for the examples to export a
+/// synthesized clip and read it back. Samples are doubles in [-1, 1];
+/// values outside are clipped on write.
+void write_wav(const std::string& path, const std::vector<double>& samples,
+               double sample_rate);
+
+struct WavData {
+  std::vector<double> samples;
+  double sample_rate = 0.0;
+};
+
+WavData read_wav(const std::string& path);
+
+}  // namespace beesim::audio

@@ -1,0 +1,106 @@
+#include "core/allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace beesim::core {
+
+const char* to_string(FillPolicy policy) noexcept {
+  switch (policy) {
+    case FillPolicy::kFillFirst: return "fill-first";
+    case FillPolicy::kBalanced: return "balanced";
+    case FillPolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+int Allocation::ServerLoad::total() const noexcept {
+  return std::accumulate(slot_clients.begin(), slot_clients.end(), 0);
+}
+
+int Allocation::ServerLoad::active_slots() const noexcept {
+  return static_cast<int>(
+      std::count_if(slot_clients.begin(), slot_clients.end(),
+                    [](int c) { return c > 0; }));
+}
+
+int Allocation::total_clients() const noexcept {
+  int total = 0;
+  for (const auto& s : servers) total += s.total();
+  return total;
+}
+
+namespace {
+
+Allocation fill_first(int clients, const ServerSpec& spec) {
+  Allocation alloc;
+  const int slots = spec.slots_per_cycle();
+  int remaining = clients;
+  while (remaining > 0) {
+    Allocation::ServerLoad server;
+    for (int s = 0; s < slots && remaining > 0; ++s) {
+      const int take = std::min(remaining, spec.max_parallel);
+      server.slot_clients.push_back(take);
+      remaining -= take;
+    }
+    alloc.servers.push_back(std::move(server));
+  }
+  return alloc;
+}
+
+Allocation spread(int clients, const ServerSpec& spec, bool round_robin) {
+  Allocation alloc;
+  const int slots = spec.slots_per_cycle();
+  const int capacity = spec.capacity();
+  const int servers = (clients + capacity - 1) / capacity;
+  alloc.servers.resize(static_cast<std::size_t>(servers));
+  for (auto& s : alloc.servers)
+    s.slot_clients.assign(static_cast<std::size_t>(slots), 0);
+
+  if (round_robin) {
+    // Deal one client at a time over every slot of every server.
+    int placed = 0;
+    while (placed < clients) {
+      for (auto& server : alloc.servers) {
+        for (auto& slot : server.slot_clients) {
+          if (placed == clients) return alloc;
+          if (slot < spec.max_parallel) {
+            ++slot;
+            ++placed;
+          }
+        }
+      }
+    }
+    return alloc;
+  }
+
+  // Balanced: equal share per slot (within one client).
+  const int total_slots = servers * slots;
+  const int base = clients / total_slots;
+  int extra = clients % total_slots;
+  for (auto& server : alloc.servers) {
+    for (auto& slot : server.slot_clients) {
+      slot = base + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+      if (slot > spec.max_parallel)
+        throw std::logic_error("allocate: balanced overflow");
+    }
+  }
+  return alloc;
+}
+
+}  // namespace
+
+Allocation allocate(int clients, const ServerSpec& spec, FillPolicy policy) {
+  if (clients < 0) throw std::invalid_argument("allocate: negative clients");
+  if (clients == 0) return {};
+  switch (policy) {
+    case FillPolicy::kFillFirst: return fill_first(clients, spec);
+    case FillPolicy::kBalanced: return spread(clients, spec, false);
+    case FillPolicy::kRoundRobin: return spread(clients, spec, true);
+  }
+  throw std::invalid_argument("allocate: unknown policy");
+}
+
+}  // namespace beesim::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "core/server.hpp"
+
+namespace beesim::core {
+
+/// How the allocator fills servers and time slots with clients.
+enum class FillPolicy {
+  /// The paper's policy: fill one slot up to its maximum after another,
+  /// one server after another.
+  kFillFirst,
+  /// Spread clients evenly across all slots of the minimum number of
+  /// servers. Under the saturation loss (model A) this avoids the
+  /// compounding penalty of packed slots — the ablation DESIGN.md calls
+  /// out.
+  kBalanced,
+  /// Deal clients one at a time across the slots of the minimum number of
+  /// servers (round robin). Equivalent occupancy to kBalanced up to
+  /// ordering; kept as a distinct, order-preserving policy.
+  kRoundRobin,
+};
+
+const char* to_string(FillPolicy policy) noexcept;
+
+/// Result of allocating a fleet of clients onto servers: per server, the
+/// number of clients assigned to each of its time slots.
+struct Allocation {
+  struct ServerLoad {
+    std::vector<int> slot_clients;  // size <= slots_per_cycle
+
+    int total() const noexcept;
+    int active_slots() const noexcept;
+  };
+
+  std::vector<ServerLoad> servers;
+
+  int servers_used() const noexcept {
+    return static_cast<int>(servers.size());
+  }
+  int total_clients() const noexcept;
+};
+
+/// Allocates `clients` onto as many servers of type `spec` as required
+/// ("creates servers based on their features ... allocates every client to
+/// one server, and links them to a wake-up time slot"). No slot ever
+/// exceeds spec.max_parallel and every client is placed (invariants
+/// property-tested).
+Allocation allocate(int clients, const ServerSpec& spec, FillPolicy policy);
+
+}  // namespace beesim::core

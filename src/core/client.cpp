@@ -1,0 +1,35 @@
+#include "core/client.hpp"
+
+#include <stdexcept>
+
+#include "device/calibration.hpp"
+#include "device/routine.hpp"
+
+namespace beesim::core {
+
+util::Seconds ClientSpec::active_time() const noexcept {
+  return device::nominal_duration(actions);
+}
+
+util::Joules ClientSpec::active_energy() const noexcept {
+  return device::nominal_energy(actions);
+}
+
+util::Joules ClientSpec::cycle_energy() const {
+  const util::Seconds active = active_time();
+  if (active > period)
+    throw std::logic_error("ClientSpec: actions longer than the period");
+  return active_energy() + sleep_power * (period - active);
+}
+
+ClientSpec ClientSpec::smart_beehive(Placement placement,
+                                     ServiceModel service,
+                                     util::Seconds period) {
+  ClientSpec spec;
+  spec.sleep_power = device::cal::kEdgeSleepPower;
+  spec.actions = device::edge_routine(placement, service);
+  spec.period = period;
+  return spec;
+}
+
+}  // namespace beesim::core

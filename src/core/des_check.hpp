@@ -1,0 +1,31 @@
+#pragma once
+
+#include "core/network_sim.hpp"
+#include "util/units.hpp"
+
+namespace beesim::core {
+
+/// Result of replaying one fleet cycle on the discrete-event engine with
+/// real device state machines, for cross-validation of the analytic
+/// LargeScaleSimulator (DESIGN.md section 5: "analytic vs event-driven").
+struct DesCheckResult {
+  util::Joules edge_energy = 0.0;   // all clients, one cycle
+  util::Joules cloud_energy = 0.0;  // one server, one cycle
+  int clients = 0;
+  int slots_used = 0;
+};
+
+/// Replays a single-server fleet cycle event-by-event: every client is a
+/// SimDevice running the edge+cloud routine, synchronized so its upload
+/// lands in its assigned time slot; the server is a SimDevice that runs
+/// receive+inference per active slot. Durations are nominal (no jitter)
+/// so the comparison with the analytic model is exact up to scheduling.
+///
+/// `clients` must fit one server, and the slot schedule (which starts
+/// each slot after the previous one) must fit the cycle alongside the
+/// 64 s collection lead-in; the function throws otherwise.
+DesCheckResult des_replay_cycle(ServiceModel service, int clients,
+                                int max_parallel,
+                                util::Seconds cycle = 300.0);
+
+}  // namespace beesim::core

@@ -1,0 +1,52 @@
+#include "core/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beesim::core {
+
+LossConfig LossConfig::only_saturation() noexcept {
+  LossConfig c;
+  c.slot_saturation = true;
+  return c;
+}
+
+LossConfig LossConfig::only_transfer_stretch() noexcept {
+  LossConfig c;
+  c.transfer_stretch = true;
+  return c;
+}
+
+LossConfig LossConfig::only_dropout() noexcept {
+  LossConfig c;
+  c.client_dropout = true;
+  return c;
+}
+
+LossConfig LossConfig::all() noexcept {
+  LossConfig c;
+  c.slot_saturation = true;
+  c.transfer_stretch = true;
+  c.client_dropout = true;
+  return c;
+}
+
+double LossConfig::saturation_factor(int clients_in_slot,
+                                     int max_parallel) const {
+  if (!slot_saturation) return 1.0;
+  const int threshold = max_parallel - saturation_slack;
+  const int over = clients_in_slot - threshold;
+  if (over <= 0) return 1.0;
+  return std::pow(1.0 + saturation_penalty, static_cast<double>(over));
+}
+
+int LossConfig::draw_lost_clients(int total_clients, util::Rng& rng) const {
+  if (!client_dropout || total_clients == 0) return 0;
+  const double mean = dropout_mean_fraction *
+                      static_cast<double>(total_clients);
+  const double drawn = rng.normal(mean, dropout_stddev);
+  const auto lost = static_cast<int>(std::lround(drawn));
+  return std::clamp(lost, 0, total_clients);
+}
+
+}  // namespace beesim::core

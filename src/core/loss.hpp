@@ -1,0 +1,46 @@
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim::core {
+
+/// The three real-life loss mechanisms of Section VI.C, individually
+/// switchable so Fig 8's panels (a)-(d) and Fig 9 come from the same
+/// configuration type.
+struct LossConfig {
+  /// (A) Slot saturation: once a slot holds more than
+  /// (max_parallel - saturation_slack) clients, each additional client
+  /// multiplies the slot's active energy by (1 + saturation_penalty).
+  bool slot_saturation = false;
+  int saturation_slack = 5;
+  double saturation_penalty = 0.10;
+
+  /// (B) Transfer stretch: every synchronized client in a slot adds this
+  /// much to the slot's transfer window (fewer slots fit in a cycle, so
+  /// per-server capacity drops).
+  bool transfer_stretch = false;
+  util::Seconds extra_transfer_per_client = 1.5;
+
+  /// (C) Client dropout: at every wake-up, the number of lost clients is
+  /// drawn from N(dropout_mean_fraction * total, dropout_stddev), clamped
+  /// to [0, total]. Lost clients sleep through the whole cycle.
+  bool client_dropout = false;
+  double dropout_mean_fraction = 0.10;
+  double dropout_stddev = 2.0;
+
+  static LossConfig none() noexcept { return {}; }
+  static LossConfig only_saturation() noexcept;
+  static LossConfig only_transfer_stretch() noexcept;
+  static LossConfig only_dropout() noexcept;
+  static LossConfig all() noexcept;
+
+  /// Saturation multiplier for a slot holding k of max_parallel clients
+  /// (compounding, >= 1).
+  double saturation_factor(int clients_in_slot, int max_parallel) const;
+
+  /// Draws the number of clients lost this cycle.
+  int draw_lost_clients(int total_clients, util::Rng& rng) const;
+};
+
+}  // namespace beesim::core

@@ -1,0 +1,130 @@
+#include "core/network_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beesim::core {
+
+FleetParams FleetParams::paper_default(ServiceModel service,
+                                       int max_parallel,
+                                       util::Seconds cycle) {
+  FleetParams p;
+  p.client = ClientSpec::smart_beehive(Placement::kEdgeCloud, service, cycle);
+  p.server = ServerSpec::cloud_server(service, max_parallel, cycle);
+  return p;
+}
+
+double CycleResult::edge_per_client() const noexcept {
+  return initial_clients > 0
+             ? edge_energy / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double CycleResult::cloud_per_client() const noexcept {
+  return initial_clients > 0
+             ? cloud_energy / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double CycleResult::total_per_client() const noexcept {
+  return edge_per_client() + cloud_per_client();
+}
+
+LargeScaleSimulator::LargeScaleSimulator(FleetParams params)
+    : params_(std::move(params)), server_(params_.server) {
+  if (params_.loss.transfer_stretch)
+    server_.extra_transfer_per_client =
+        params_.loss.extra_transfer_per_client;
+  if (params_.client.period != server_.cycle)
+    throw std::invalid_argument(
+        "LargeScaleSimulator: client period and server cycle differ");
+  // Validate the geometry once (throws if a slot cannot fit).
+  (void)server_.slots_per_cycle();
+}
+
+util::Joules LargeScaleSimulator::server_energy(
+    const Allocation::ServerLoad& load) const {
+  util::Seconds active_time = 0.0;
+  util::Joules active_energy = 0.0;
+  for (int k : load.slot_clients) {
+    if (k <= 0) continue;
+    active_time += server_.slot_duration(k);
+    active_energy += server_.slot_active_energy(k) *
+                     params_.loss.saturation_factor(k,
+                                                    server_.max_parallel);
+  }
+  if (active_time > server_.cycle)
+    throw std::logic_error(
+        "LargeScaleSimulator: active slots exceed the cycle");
+  return server_.idle_power * (server_.cycle - active_time) + active_energy;
+}
+
+CycleResult LargeScaleSimulator::simulate_cycle(int clients,
+                                                util::Rng& rng) const {
+  if (clients < 0)
+    throw std::invalid_argument("simulate_cycle: negative clients");
+  CycleResult result;
+  result.initial_clients = clients;
+  result.lost_clients = params_.loss.draw_lost_clients(clients, rng);
+  const int surviving = clients - result.lost_clients;
+
+  result.edge_energy =
+      static_cast<double>(surviving) * params_.client.cycle_energy() +
+      static_cast<double>(result.lost_clients) *
+          params_.client.sleep_cycle_energy();
+
+  const Allocation alloc = allocate(surviving, server_, params_.policy);
+  result.servers_used = alloc.servers_used();
+  for (const auto& load : alloc.servers) {
+    result.active_slots += load.active_slots();
+    result.cloud_energy += server_energy(load);
+  }
+  return result;
+}
+
+CycleResult LargeScaleSimulator::simulate_ideal_cycle(int clients) const {
+  util::Rng unused(0);
+  FleetParams ideal = params_;
+  ideal.loss.client_dropout = false;
+  LargeScaleSimulator sim(ideal);
+  return sim.simulate_cycle(clients, unused);
+}
+
+std::vector<CycleResult> LargeScaleSimulator::sweep(
+    const std::vector<int>& client_counts, std::uint64_t seed,
+    int cycles_per_point) const {
+  if (cycles_per_point < 1)
+    throw std::invalid_argument("sweep: cycles_per_point < 1");
+  util::Rng rng(seed);
+  std::vector<CycleResult> out;
+  out.reserve(client_counts.size());
+  for (int n : client_counts) {
+    CycleResult mean;
+    for (int c = 0; c < cycles_per_point; ++c) {
+      const CycleResult r = simulate_cycle(n, rng);
+      mean.initial_clients = r.initial_clients;
+      mean.lost_clients += r.lost_clients;
+      mean.servers_used = std::max(mean.servers_used, r.servers_used);
+      mean.active_slots += r.active_slots;
+      mean.edge_energy += r.edge_energy;
+      mean.cloud_energy += r.cloud_energy;
+    }
+    const double inv = 1.0 / static_cast<double>(cycles_per_point);
+    mean.lost_clients = static_cast<int>(mean.lost_clients * inv);
+    mean.active_slots = static_cast<int>(mean.active_slots * inv);
+    mean.edge_energy *= inv;
+    mean.cloud_energy *= inv;
+    out.push_back(mean);
+  }
+  return out;
+}
+
+std::vector<int> client_range(int lo, int hi, int step) {
+  if (lo < 0 || hi < lo || step <= 0)
+    throw std::invalid_argument("client_range: bad range");
+  std::vector<int> out;
+  for (int n = lo; n <= hi; n += step) out.push_back(n);
+  return out;
+}
+
+}  // namespace beesim::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/client.hpp"
+#include "core/loss.hpp"
+#include "core/server.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::core {
+
+/// Everything that defines one large-scale deployment: the client type,
+/// the server type, the allocator policy, and which losses apply.
+struct FleetParams {
+  ClientSpec client;
+  ServerSpec server;
+  FillPolicy policy = FillPolicy::kFillFirst;
+  LossConfig loss;
+
+  /// The paper's Section VI configuration: edge+cloud smart-beehive
+  /// clients on a 5-minute cycle, cloud servers running the given queen
+  /// detection model with `max_parallel` clients per time slot.
+  static FleetParams paper_default(ServiceModel service = ServiceModel::kCnn,
+                                   int max_parallel = 10,
+                                   util::Seconds cycle = 300.0);
+};
+
+/// Outcome of one simulated wake-up cycle across the whole fleet.
+struct CycleResult {
+  int initial_clients = 0;
+  int lost_clients = 0;
+  int servers_used = 0;
+  int active_slots = 0;
+  util::Joules edge_energy = 0.0;   // summed over all clients
+  util::Joules cloud_energy = 0.0;  // summed over all servers
+
+  int surviving_clients() const noexcept {
+    return initial_clients - lost_clients;
+  }
+  /// Per-client metrics are divided by the *initial* client count, as in
+  /// the paper's figures (their x-axis is the deployed fleet size).
+  double edge_per_client() const noexcept;
+  double cloud_per_client() const noexcept;
+  double total_per_client() const noexcept;
+};
+
+/// The analytic large-scale simulator of Section VI: allocates clients to
+/// servers and time slots, applies the loss models, and accounts energy
+/// for one cycle. Deterministic given the RNG (only loss C draws from
+/// it).
+class LargeScaleSimulator {
+ public:
+  explicit LargeScaleSimulator(FleetParams params);
+
+  /// One cycle with `clients` deployed beehives.
+  CycleResult simulate_cycle(int clients, util::Rng& rng) const;
+
+  /// One cycle without any stochastic loss (ignores loss model C).
+  CycleResult simulate_ideal_cycle(int clients) const;
+
+  /// Sweeps a range of fleet sizes; each point runs `cycles_per_point`
+  /// cycles and averages (loss C makes single cycles noisy).
+  std::vector<CycleResult> sweep(const std::vector<int>& client_counts,
+                                 std::uint64_t seed,
+                                 int cycles_per_point = 1) const;
+
+  /// The server spec with loss model B folded in (stretched slots).
+  const ServerSpec& effective_server() const noexcept { return server_; }
+  const FleetParams& params() const noexcept { return params_; }
+
+ private:
+  util::Joules server_energy(const Allocation::ServerLoad& load) const;
+
+  FleetParams params_;
+  ServerSpec server_;  // params_.server with transfer stretch applied
+};
+
+/// Convenience for sweeps: {lo, lo+step, ..., <= hi}.
+std::vector<int> client_range(int lo, int hi, int step);
+
+}  // namespace beesim::core

@@ -1,0 +1,104 @@
+#include "core/placement.hpp"
+
+#include <stdexcept>
+
+namespace beesim::core {
+namespace {
+
+FleetParams make_fleet(const PlacementAdvisor::Options& options) {
+  FleetParams fleet = FleetParams::paper_default(
+      options.service, options.max_parallel, options.cycle);
+  fleet.policy = options.policy;
+  fleet.loss = options.loss;
+  fleet.loss.client_dropout = false;  // deterministic analysis
+  return fleet;
+}
+
+}  // namespace
+
+PlacementAdvisor::PlacementAdvisor(const Options& options)
+    : options_(options), sim_(make_fleet(options)),
+      edge_only_(ClientSpec::smart_beehive(Placement::kEdgeOnly,
+                                           options.service, options.cycle)
+                     .cycle_energy()) {}
+
+PlacementComparison PlacementAdvisor::compare(int clients) const {
+  if (clients <= 0)
+    throw std::invalid_argument("PlacementAdvisor: clients <= 0");
+  const CycleResult r = sim_.simulate_ideal_cycle(clients);
+  PlacementComparison cmp;
+  cmp.clients = clients;
+  cmp.edge_only_per_client = edge_only_;
+  cmp.edge_cloud_per_client = r.total_per_client();
+  cmp.edge_cloud_wins = cmp.edge_cloud_per_client < cmp.edge_only_per_client;
+  return cmp;
+}
+
+std::vector<PlacementComparison> PlacementAdvisor::compare_range(
+    const std::vector<int>& client_counts) const {
+  std::vector<PlacementComparison> out;
+  out.reserve(client_counts.size());
+  for (int n : client_counts) out.push_back(compare(n));
+  return out;
+}
+
+std::optional<int> PlacementAdvisor::first_crossover(int lo, int hi) const {
+  for (int n = lo; n <= hi; ++n)
+    if (compare(n).edge_cloud_wins) return n;
+  return std::nullopt;
+}
+
+std::optional<int> PlacementAdvisor::always_better_from(int lo,
+                                                        int hi) const {
+  std::optional<int> candidate;
+  for (int n = hi; n >= lo; --n) {
+    if (compare(n).edge_cloud_wins)
+      candidate = n;
+    else
+      break;  // n loses: nothing below can be "always better"
+  }
+  return candidate;
+}
+
+PlacementComparison PlacementAdvisor::max_advantage(int lo, int hi) const {
+  if (lo > hi) throw std::invalid_argument("max_advantage: bad range");
+  PlacementComparison best = compare(lo);
+  for (int n = lo + 1; n <= hi; ++n) {
+    const PlacementComparison cmp = compare(n);
+    if (cmp.advantage() > best.advantage()) best = cmp;
+  }
+  return best;
+}
+
+int PlacementAdvisor::min_viable_parallel(ServiceModel service,
+                                          util::Seconds cycle, int limit) {
+  const double edge_only =
+      ClientSpec::smart_beehive(Placement::kEdgeOnly, service, cycle)
+          .cycle_energy();
+  const double edge_cloud_client =
+      ClientSpec::smart_beehive(Placement::kEdgeCloud, service, cycle)
+          .cycle_energy();
+  const double budget = edge_only - edge_cloud_client;
+  if (budget <= 0.0)
+    throw std::logic_error(
+        "min_viable_parallel: edge+cloud client costs more than edge-only");
+  for (int parallel = 1; parallel <= limit; ++parallel) {
+    const ServerSpec server =
+        ServerSpec::cloud_server(service, parallel, cycle);
+    const int slots = server.slots_per_cycle();
+    const int capacity = server.capacity();
+    util::Seconds active_time = 0.0;
+    util::Joules active_energy = 0.0;
+    for (int s = 0; s < slots; ++s) {
+      active_time += server.slot_duration(parallel);
+      active_energy += server.slot_active_energy(parallel);
+    }
+    const util::Joules full_energy =
+        server.idle_power * (cycle - active_time) + active_energy;
+    if (full_energy / static_cast<double>(capacity) < budget)
+      return parallel;
+  }
+  throw std::runtime_error("min_viable_parallel: no viable capacity found");
+}
+
+}  // namespace beesim::core

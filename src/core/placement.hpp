@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/network_sim.hpp"
+
+namespace beesim::core {
+
+/// Per-fleet-size comparison of the two orchestration scenarios.
+struct PlacementComparison {
+  int clients = 0;
+  double edge_only_per_client = 0.0;  // joules
+  double edge_cloud_per_client = 0.0;
+  bool edge_cloud_wins = false;
+  double advantage() const noexcept {  // positive when edge+cloud wins
+    return edge_only_per_client - edge_cloud_per_client;
+  }
+};
+
+/// The placement analysis of Section VI.B/C and Fig 7/Fig 9: where does
+/// the edge+cloud scenario become more energy-efficient than edge-only?
+/// Uses the ideal (loss-C-free) model so answers are deterministic; pass a
+/// LossConfig with A/B enabled to study the degraded regimes.
+class PlacementAdvisor {
+ public:
+  struct Options {
+    ServiceModel service = ServiceModel::kCnn;
+    int max_parallel = 10;
+    util::Seconds cycle = 300.0;
+    FillPolicy policy = FillPolicy::kFillFirst;
+    LossConfig loss;  // client_dropout is ignored (deterministic analysis)
+  };
+
+  explicit PlacementAdvisor(const Options& options);
+
+  PlacementComparison compare(int clients) const;
+  std::vector<PlacementComparison> compare_range(
+      const std::vector<int>& client_counts) const;
+
+  /// Smallest fleet size in [lo, hi] where edge+cloud first wins, if any.
+  std::optional<int> first_crossover(int lo, int hi) const;
+
+  /// Smallest N in [lo, hi] such that edge+cloud wins for every fleet
+  /// size in [N, hi] (the paper's "from 803 clients ... remains this way").
+  std::optional<int> always_better_from(int lo, int hi) const;
+
+  /// Fleet size in [lo, hi] with the largest edge+cloud advantage, with
+  /// the advantage in joules (the paper's "12.5 J at 630 clients").
+  PlacementComparison max_advantage(int lo, int hi) const;
+
+  /// The capacity tipping point (the paper's "26 clients"): the smallest
+  /// max_parallel for which a fully used server makes edge+cloud win.
+  static int min_viable_parallel(ServiceModel service,
+                                 util::Seconds cycle = 300.0,
+                                 int limit = 1000);
+
+  const LargeScaleSimulator& simulator() const noexcept { return sim_; }
+  double edge_only_per_client() const noexcept { return edge_only_; }
+
+ private:
+  Options options_;
+  LargeScaleSimulator sim_;
+  double edge_only_ = 0.0;
+};
+
+}  // namespace beesim::core

@@ -1,0 +1,158 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "hive/services.hpp"
+
+namespace beesim::core {
+namespace {
+
+std::string num(double value, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+void scenario_section(std::ostringstream& out, ServiceModel service,
+                      util::Seconds cycle) {
+  for (auto placement : {Placement::kEdgeOnly, Placement::kEdgeCloud}) {
+    const auto table = build_scenario_table(placement, service, cycle);
+    out << "\n### Scenario: " << device::to_string(placement) << " ("
+        << device::to_string(service) << ")\n\n";
+    out << "| Edge task | Edge (J) | Cloud task | Cloud (J) | Time (s) |\n";
+    out << "|---|---|---|---|---|\n";
+    for (const auto& row : table.rows) {
+      out << "| " << row.edge_task << " | " << num(row.edge_energy)
+          << " | " << (row.cloud_task.empty() ? "-" : row.cloud_task)
+          << " | "
+          << (row.cloud_task.empty() ? "-" : num(row.cloud_energy))
+          << " | " << num(row.time) << " |\n";
+    }
+    out << "| **Total** | **" << num(table.edge_total()) << "** | | **"
+        << num(table.cloud_total()) << "** | " << num(table.time_total(), 0)
+        << " |\n";
+  }
+}
+
+}  // namespace
+
+std::string markdown_deployment_report(const ReportOptions& options) {
+  if (options.clients < 1)
+    throw std::invalid_argument("deployment report: clients < 1");
+
+  std::ostringstream out;
+  out << "# Deployment report: " << options.deployment_name << "\n\n";
+  out << "- fleet: **" << options.clients << " smart beehives**\n";
+  out << "- wake-up cycle: " << num(options.cycle / 60.0, 0)
+      << " min; server slot width: " << options.max_parallel
+      << " clients; allocator: " << to_string(options.policy) << "\n";
+  out << "- primary service: queen detection ("
+      << device::to_string(options.service) << ")\n";
+
+  // 1. Cost tables.
+  out << "\n## Per-cycle cost model (calibrated to the PAISE 2023 "
+         "measurements)\n";
+  scenario_section(out, options.service, options.cycle);
+
+  // 2. Placement verdict.
+  PlacementAdvisor::Options advisor_options;
+  advisor_options.service = options.service;
+  advisor_options.max_parallel = options.max_parallel;
+  advisor_options.cycle = options.cycle;
+  advisor_options.policy = options.policy;
+  PlacementAdvisor advisor(advisor_options);
+  const auto verdict = advisor.compare(options.clients);
+  out << "\n## Placement verdict\n\n";
+  out << "| Option | Energy per hive per cycle |\n|---|---|\n";
+  out << "| edge-only | " << num(verdict.edge_only_per_client) << " J |\n";
+  out << "| edge+cloud | " << num(verdict.edge_cloud_per_client)
+      << " J |\n\n";
+  out << "**Recommendation: "
+      << (verdict.edge_cloud_wins ? "EDGE+CLOUD" : "EDGE-ONLY") << "** ("
+      << num(std::abs(verdict.advantage())) << " J/hive/cycle "
+      << (verdict.edge_cloud_wins ? "saved by offloading"
+                                  : "saved by staying local")
+      << ").\n";
+  const auto crossover = advisor.first_crossover(10, 4000);
+  if (crossover.has_value()) {
+    out << "\nOffloading starts paying at " << *crossover
+        << " hives with these settings";
+    const auto always = advisor.always_better_from(10, 6000);
+    if (always.has_value())
+      out << " and wins for every fleet of " << *always << "+ hives";
+    out << ".\n";
+  } else {
+    out << "\nWith these settings edge+cloud never beats edge-only; the "
+           "capacity tipping point is "
+        << PlacementAdvisor::min_viable_parallel(options.service,
+                                                 options.cycle)
+        << " clients per slot.\n";
+  }
+
+  // 3. Multi-service plan.
+  const std::vector<hive::ServiceSpec> services =
+      options.services.empty()
+          ? std::vector<hive::ServiceSpec>{options.service ==
+                                                   ServiceModel::kSvm
+                                               ? hive::services::
+                                                     queen_detection_svm()
+                                               : hive::services::
+                                                     queen_detection_cnn()}
+          : options.services;
+  OrchestratorOptions orch_options;
+  orch_options.clients = options.clients;
+  orch_options.max_parallel = options.max_parallel;
+  orch_options.cycle = options.cycle;
+  orch_options.policy = options.policy;
+  ServiceOrchestrator orchestrator(orch_options);
+  const auto plan = orchestrator.optimize(services);
+  out << "\n## Service plan\n\n";
+  out << "| Service | Placement | Edge J/invocation | Cloud J/invocation "
+         "|\n|---|---|---|---|\n";
+  for (const auto& service_plan : plan.plans) {
+    out << "| " << service_plan.service.name << " | "
+        << device::to_string(service_plan.placement) << " | "
+        << num(service_plan.service.edge_energy()) << " | "
+        << num(service_plan.service.cloud_energy()) << " |\n";
+  }
+  out << "\nPlan totals: " << num(plan.costs.edge_per_cycle)
+      << " J/hive/cycle at the edge";
+  if (plan.costs.servers_used > 0)
+    out << " + " << num(plan.costs.cloud_per_client)
+        << " J/hive/cycle server share across " << plan.costs.servers_used
+        << " server(s)";
+  out << ".\n";
+
+  // 4. Robustness.
+  if (options.uncertainty_samples > 0) {
+    UncertaintyAnalysis::Options unc_options;
+    unc_options.service = options.service;
+    unc_options.max_parallel = options.max_parallel;
+    unc_options.cycle = options.cycle;
+    unc_options.policy = options.policy;
+    unc_options.samples = options.uncertainty_samples;
+    unc_options.seed = options.seed;
+    UncertaintyAnalysis analysis(unc_options);
+    const auto dist = analysis.analyze(options.clients);
+    out << "\n## Robustness under loss uncertainty\n\n";
+    out << "Across " << options.uncertainty_samples
+        << " Monte-Carlo draws of the loss parameters, edge+cloud wins "
+        << num(dist.win_probability * 100.0, 0)
+        << " % of the time; the advantage band (p10/p50/p90) is "
+        << num(dist.advantage_p10) << " / " << num(dist.advantage_p50)
+        << " / " << num(dist.advantage_p90) << " J per hive per cycle.\n";
+    const bool robust = dist.win_probability >= 0.9 ||
+                        dist.win_probability <= 0.1;
+    out << "\nThe verdict is " << (robust ? "**robust**" : "**fragile**")
+        << " to the loss assumptions"
+        << (robust ? "."
+                   : " — measure the deployment's real losses before "
+                     "committing to a server.")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace beesim::core

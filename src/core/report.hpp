@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/orchestrator.hpp"
+#include "core/placement.hpp"
+#include "core/uncertainty.hpp"
+
+namespace beesim::core {
+
+/// Inputs for a deployment report: the fleet under consideration and the
+/// analysis knobs.
+struct ReportOptions {
+  std::string deployment_name = "apiary network";
+  int clients = 500;
+  int max_parallel = 35;
+  util::Seconds cycle = 300.0;
+  ServiceModel service = ServiceModel::kCnn;
+  FillPolicy policy = FillPolicy::kBalanced;
+  /// Services to place (empty = the single queen-detection service).
+  std::vector<hive::ServiceSpec> services;
+  /// Monte-Carlo samples for the robustness section (0 = skip it).
+  int uncertainty_samples = 150;
+  std::uint64_t seed = 99;
+};
+
+/// Renders a self-contained Markdown deployment report:
+///   1. per-cycle cost tables for both scenarios (Tables I/II style),
+///   2. the placement verdict for this fleet plus the crossover context,
+///   3. the optimal multi-service plan,
+///   4. robustness of the verdict under loss-parameter uncertainty.
+/// This is the artifact the paper's analysis ultimately exists to
+/// produce: a sizing decision a beekeeping collective could act on.
+std::string markdown_deployment_report(const ReportOptions& options);
+
+}  // namespace beesim::core

@@ -1,0 +1,115 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+#include "device/calibration.hpp"
+
+namespace beesim::core {
+
+namespace cal = device::cal;
+
+util::Joules ScenarioTable::edge_total() const noexcept {
+  util::Joules total = 0.0;
+  for (const auto& r : rows) total += r.edge_energy;
+  return total;
+}
+
+util::Joules ScenarioTable::cloud_total() const noexcept {
+  util::Joules total = 0.0;
+  for (const auto& r : rows) total += r.cloud_energy;
+  return total;
+}
+
+util::Seconds ScenarioTable::time_total() const noexcept {
+  util::Seconds total = 0.0;
+  for (const auto& r : rows) total += r.time;
+  return total;
+}
+
+namespace {
+
+struct ServiceCosts {
+  util::Seconds edge_time;
+  util::Watts edge_power;
+  util::Seconds cloud_time;
+  util::Watts cloud_power;
+  const char* name;
+};
+
+ServiceCosts service_costs(ServiceModel service) {
+  switch (service) {
+    case ServiceModel::kSvm:
+      return {cal::kEdgeSvmTime, cal::kEdgeSvmPower, cal::kCloudSvmTime,
+              cal::kCloudSvmPower, "Queen detection model (SVM)"};
+    case ServiceModel::kCnn:
+      return {cal::kEdgeCnnTime, cal::kEdgeCnnPower, cal::kCloudCnnTime,
+              cal::kCloudCnnPower, "Queen detection model (CNN)"};
+    case ServiceModel::kNone:
+      break;
+  }
+  throw std::invalid_argument("build_scenario_table: service required");
+}
+
+}  // namespace
+
+ScenarioTable build_scenario_table(Placement placement, ServiceModel service,
+                                   util::Seconds cycle) {
+  const ServiceCosts svc = service_costs(service);
+  ScenarioTable table;
+  table.placement = placement;
+  table.service = service;
+  table.cycle = cycle;
+
+  if (placement == Placement::kEdgeOnly) {
+    const util::Seconds active = cal::kWakeCollectTime + svc.edge_time +
+                                 cal::kSendResultsTime + cal::kShutdownTime;
+    if (cycle <= active)
+      throw std::invalid_argument(
+          "build_scenario_table: cycle shorter than the active routine");
+    const util::Seconds sleep = cycle - active;
+    table.rows = {
+        {"Sleep", sleep * cal::kEdgeSleepPower, "", 0.0, sleep},
+        {"Wake up & Data collection", cal::kWakeCollectEnergy, "", 0.0,
+         cal::kWakeCollectTime},
+        {svc.name, svc.edge_time * svc.edge_power, "", 0.0, svc.edge_time},
+        {"Send results", cal::kSendResultsEnergy, "", 0.0,
+         cal::kSendResultsTime},
+        {"Shutdown", cal::kShutdownEnergy, "", 0.0, cal::kShutdownTime},
+    };
+    return table;
+  }
+
+  // Edge+cloud: the edge routine is collection + audio upload + shutdown;
+  // the cloud is idle until the upload lands, then runs the model while
+  // the edge is still shutting down (hence the split shutdown rows).
+  const util::Seconds active = cal::kWakeCollectTime + cal::kSendAudioTime +
+                               cal::kShutdownTime;
+  if (cycle <= active)
+    throw std::invalid_argument(
+        "build_scenario_table: cycle shorter than the active routine");
+  if (svc.cloud_time >= cal::kShutdownTime)
+    throw std::logic_error(
+        "build_scenario_table: cloud inference outlasts edge shutdown");
+  const util::Seconds sleep = cycle - active;
+  const util::Seconds shutdown_rest = cal::kShutdownTime - svc.cloud_time;
+  table.rows = {
+      {"Sleep", sleep * cal::kEdgeSleepPower, "Idle",
+       sleep * cal::kCloudIdlePower, sleep},
+      {"Wake up & Data collection", cal::kWakeCollectEnergy, "Idle",
+       cal::kWakeCollectTime * cal::kCloudIdlePower, cal::kWakeCollectTime},
+      {"Send audio", cal::kSendAudioEnergy, "Receive audio",
+       cal::kSendAudioTime * cal::kCloudReceivePower, cal::kSendAudioTime},
+      {"Shutdown", svc.cloud_time * cal::kShutdownPower, svc.name,
+       svc.cloud_time * svc.cloud_power, svc.cloud_time},
+      {"Shutdown", shutdown_rest * cal::kShutdownPower, "Idle",
+       shutdown_rest * cal::kCloudIdlePower, shutdown_rest},
+  };
+  return table;
+}
+
+util::Joules edge_cycle_energy(Placement placement, ServiceModel service,
+                               util::Seconds cycle) {
+  return build_scenario_table(placement, service, cycle).edge_total();
+}
+
+}  // namespace beesim::core

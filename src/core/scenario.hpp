@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/routine.hpp"
+#include "util/units.hpp"
+
+namespace beesim::core {
+
+using device::Placement;
+using device::ServiceModel;
+
+/// One chronological row of a scenario cost table: what the edge and (in
+/// the edge+cloud case) the cloud are doing over the same span of time,
+/// with the energy each consumes. These are exactly the rows of the
+/// paper's Table I / Table II.
+struct ScenarioRow {
+  std::string edge_task;
+  util::Joules edge_energy = 0.0;
+  std::string cloud_task;   // empty in edge-only scenarios
+  util::Joules cloud_energy = 0.0;
+  util::Seconds time = 0.0;
+};
+
+/// Full per-cycle cost breakdown for one (placement, service) pair.
+struct ScenarioTable {
+  Placement placement = Placement::kEdgeOnly;
+  ServiceModel service = ServiceModel::kSvm;
+  util::Seconds cycle = 300.0;
+  std::vector<ScenarioRow> rows;
+
+  util::Joules edge_total() const noexcept;
+  util::Joules cloud_total() const noexcept;
+  util::Seconds time_total() const noexcept;
+  /// Edge + cloud energy.
+  util::Joules system_total() const noexcept {
+    return edge_total() + cloud_total();
+  }
+};
+
+/// Builds the cost table for a wake-up cycle of the given length. The
+/// service must not be kNone (the paper's tables are per-service). Rows
+/// follow the paper's chronological layout, including the split shutdown
+/// rows in the edge+cloud scenario (the cloud finishes inference while the
+/// edge is still shutting down).
+ScenarioTable build_scenario_table(Placement placement, ServiceModel service,
+                                   util::Seconds cycle = 300.0);
+
+/// Edge energy per cycle for a scenario (the client-side constant of the
+/// large-scale model: 322.0 J for edge+cloud, 366.3/367.5 J for edge-only
+/// at the 5-minute cycle).
+util::Joules edge_cycle_energy(Placement placement, ServiceModel service,
+                               util::Seconds cycle = 300.0);
+
+}  // namespace beesim::core

@@ -1,0 +1,61 @@
+#include "core/server.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/calibration.hpp"
+
+namespace beesim::core {
+
+namespace cal = device::cal;
+
+util::Seconds ServerSpec::slot_duration(int clients_in_slot) const {
+  if (clients_in_slot < 0)
+    throw std::invalid_argument("ServerSpec: negative slot load");
+  return receive_time +
+         extra_transfer_per_client * static_cast<double>(clients_in_slot) +
+         process_time;
+}
+
+int ServerSpec::slots_per_cycle() const {
+  const util::Seconds slot = planning_slot_duration();
+  if (slot <= 0.0) throw std::logic_error("ServerSpec: zero slot duration");
+  const int slots = static_cast<int>(cycle / slot);
+  if (slots < 1)
+    throw std::logic_error("ServerSpec: a slot does not fit in the cycle");
+  return slots;
+}
+
+util::Joules ServerSpec::slot_active_energy(int clients_in_slot) const {
+  const util::Seconds transfer =
+      receive_time +
+      extra_transfer_per_client * static_cast<double>(clients_in_slot);
+  return receive_power * transfer + process_power * process_time;
+}
+
+ServerSpec ServerSpec::cloud_server(ServiceModel service, int max_parallel,
+                                    util::Seconds cycle) {
+  if (max_parallel < 1)
+    throw std::invalid_argument("ServerSpec: max_parallel < 1");
+  ServerSpec s;
+  s.idle_power = cal::kCloudIdlePower;
+  s.receive_time = cal::kSendAudioTime;
+  s.receive_power = cal::kCloudReceivePower;
+  switch (service) {
+    case ServiceModel::kSvm:
+      s.process_time = cal::kCloudSvmTime;
+      s.process_power = cal::kCloudSvmPower;
+      break;
+    case ServiceModel::kCnn:
+      s.process_time = cal::kCloudCnnTime;
+      s.process_power = cal::kCloudCnnPower;
+      break;
+    case ServiceModel::kNone:
+      throw std::invalid_argument("ServerSpec: service required");
+  }
+  s.max_parallel = max_parallel;
+  s.cycle = cycle;
+  return s;
+}
+
+}  // namespace beesim::core

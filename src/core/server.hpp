@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/scenario.hpp"
+#include "util/units.hpp"
+
+namespace beesim::core {
+
+/// The "server" of the paper's simulation model (Section VI.A): receives
+/// data from clients and processes it. Clients are grouped into
+/// synchronized *time slots*; within a slot up to `max_parallel` clients
+/// transfer simultaneously, then the service runs once per slot batch.
+/// The shorter the slot, the more slots fit in one wake-up cycle.
+struct ServerSpec {
+  util::Watts idle_power = 0.0;
+  util::Seconds receive_time = 0.0;   // per slot, all clients in parallel
+  util::Watts receive_power = 0.0;
+  util::Seconds process_time = 0.0;   // model execution per slot
+  util::Watts process_power = 0.0;
+  int max_parallel = 10;
+  util::Seconds cycle = 300.0;
+  /// Loss model B: each synchronized client stretches the slot's transfer
+  /// window by this much (0 = ideal).
+  util::Seconds extra_transfer_per_client = 0.0;
+
+  /// Duration of one slot serving `clients_in_slot` clients.
+  util::Seconds slot_duration(int clients_in_slot) const;
+  /// Slot duration used for capacity planning (worst case: a full slot).
+  util::Seconds planning_slot_duration() const {
+    return slot_duration(max_parallel);
+  }
+  /// How many time slots fit in one cycle.
+  int slots_per_cycle() const;
+  /// Maximum clients one server can absorb per cycle.
+  int capacity() const { return slots_per_cycle() * max_parallel; }
+
+  /// Active (non-idle) energy of one slot serving k clients, before any
+  /// saturation penalty.
+  util::Joules slot_active_energy(int clients_in_slot) const;
+
+  /// The cloud server of Table II serving the given queen-detection
+  /// model. Defaults reproduce Fig 6 (CNN service, 10 parallel).
+  static ServerSpec cloud_server(ServiceModel service = ServiceModel::kCnn,
+                                 int max_parallel = 10,
+                                 util::Seconds cycle = 300.0);
+};
+
+}  // namespace beesim::core

@@ -1,0 +1,94 @@
+#include "core/uncertainty.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace beesim::core {
+
+LossConfig LossUncertainty::sample(util::Rng& rng) const {
+  LossConfig loss = LossConfig::all();
+  loss.saturation_penalty =
+      rng.uniform(saturation_penalty_lo, saturation_penalty_hi);
+  loss.saturation_slack = static_cast<int>(
+      rng.uniform_int(saturation_slack_lo, saturation_slack_hi));
+  loss.extra_transfer_per_client =
+      rng.uniform(extra_transfer_lo, extra_transfer_hi);
+  loss.transfer_stretch = loss.extra_transfer_per_client > 0.0;
+  loss.dropout_mean_fraction =
+      rng.uniform(dropout_fraction_lo, dropout_fraction_hi);
+  return loss;
+}
+
+UncertaintyAnalysis::UncertaintyAnalysis(const Options& options)
+    : options_(options) {
+  if (options_.samples < 1)
+    throw std::invalid_argument("UncertaintyAnalysis: samples < 1");
+  if (options_.max_parallel < 1 || options_.cycle <= 0.0)
+    throw std::invalid_argument("UncertaintyAnalysis: bad fleet options");
+  if (options_.uncertainty.saturation_penalty_lo >
+          options_.uncertainty.saturation_penalty_hi ||
+      options_.uncertainty.extra_transfer_lo >
+          options_.uncertainty.extra_transfer_hi ||
+      options_.uncertainty.dropout_fraction_lo >
+          options_.uncertainty.dropout_fraction_hi ||
+      options_.uncertainty.saturation_slack_lo >
+          options_.uncertainty.saturation_slack_hi)
+    throw std::invalid_argument("UncertaintyAnalysis: inverted ranges");
+}
+
+PlacementDistribution UncertaintyAnalysis::analyze(int clients) const {
+  if (clients < 1)
+    throw std::invalid_argument("UncertaintyAnalysis: clients < 1");
+  const double edge_only_cycle = edge_cycle_energy(
+      Placement::kEdgeOnly, options_.service, options_.cycle);
+
+  // Every sample owns a derived RNG stream, so the Monte-Carlo loop is
+  // embarrassingly parallel and bitwise deterministic for any thread
+  // count.
+  std::vector<double> advantages(
+      static_cast<std::size_t>(options_.samples));
+  util::parallel_for(
+      advantages.size(), [&](std::size_t s) {
+        util::Rng rng(options_.seed ^
+                      (static_cast<std::uint64_t>(clients) << 20) ^
+                      (static_cast<std::uint64_t>(s) * 0x9e3779b9ULL));
+        FleetParams fleet = FleetParams::paper_default(
+            options_.service, options_.max_parallel, options_.cycle);
+        fleet.policy = options_.policy;
+        fleet.loss = options_.uncertainty.sample(rng);
+        LargeScaleSimulator sim(fleet);
+        const CycleResult r = sim.simulate_cycle(clients, rng);
+        // Edge-only fleet suffering the same dropout draw.
+        const double edge_only_eff =
+            (static_cast<double>(r.surviving_clients()) * edge_only_cycle +
+             static_cast<double>(r.lost_clients) *
+                 fleet.client.sleep_cycle_energy()) /
+            static_cast<double>(clients);
+        advantages[s] = edge_only_eff - r.total_per_client();
+      });
+  const auto wins = static_cast<int>(std::count_if(
+      advantages.begin(), advantages.end(),
+      [](double a) { return a > 0.0; }));
+
+  PlacementDistribution out;
+  out.clients = clients;
+  out.win_probability =
+      static_cast<double>(wins) / static_cast<double>(options_.samples);
+  out.advantage_p10 = util::percentile(advantages, 0.10);
+  out.advantage_p50 = util::percentile(advantages, 0.50);
+  out.advantage_p90 = util::percentile(advantages, 0.90);
+  return out;
+}
+
+std::vector<PlacementDistribution> UncertaintyAnalysis::sweep(
+    const std::vector<int>& client_counts) const {
+  std::vector<PlacementDistribution> out;
+  out.reserve(client_counts.size());
+  for (int n : client_counts) out.push_back(analyze(n));
+  return out;
+}
+
+}  // namespace beesim::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "core/network_sim.hpp"
+
+namespace beesim::core {
+
+/// Uncertainty ranges over the loss parameters of Section VI.C. The paper
+/// picks single values "thanks to the understanding gained [from] the
+/// data collection period" and lists refining them as future work; this
+/// module treats them as uniform ranges and Monte-Carlo-samples the
+/// placement decision over them.
+struct LossUncertainty {
+  // Loss A: compounding penalty per client above the slot threshold.
+  double saturation_penalty_lo = 0.05;
+  double saturation_penalty_hi = 0.15;
+  int saturation_slack_lo = 3;
+  int saturation_slack_hi = 7;
+  // Loss B: extra transfer seconds per synchronized client.
+  double extra_transfer_lo = 0.0;
+  double extra_transfer_hi = 0.5;
+  // Loss C: mean dropout fraction per wake-up.
+  double dropout_fraction_lo = 0.05;
+  double dropout_fraction_hi = 0.15;
+
+  /// Draws one concrete LossConfig (all three mechanisms active).
+  LossConfig sample(util::Rng& rng) const;
+};
+
+/// Distribution of the per-client edge+cloud advantage at one fleet size.
+struct PlacementDistribution {
+  int clients = 0;
+  /// Fraction of samples where edge+cloud beat the (equally lossy)
+  /// edge-only deployment.
+  double win_probability = 0.0;
+  /// Advantage percentiles in joules per client (positive = edge+cloud
+  /// cheaper).
+  double advantage_p10 = 0.0;
+  double advantage_p50 = 0.0;
+  double advantage_p90 = 0.0;
+};
+
+/// Monte-Carlo placement analysis under loss-parameter uncertainty.
+/// Each sample draws loss parameters, simulates one cycle (including the
+/// stochastic dropout), and compares against an edge-only fleet suffering
+/// the same dropout.
+class UncertaintyAnalysis {
+ public:
+  struct Options {
+    ServiceModel service = ServiceModel::kCnn;
+    int max_parallel = 35;
+    util::Seconds cycle = 300.0;
+    FillPolicy policy = FillPolicy::kBalanced;
+    LossUncertainty uncertainty;
+    int samples = 200;
+    std::uint64_t seed = 99;
+  };
+
+  explicit UncertaintyAnalysis(const Options& options);
+
+  PlacementDistribution analyze(int clients) const;
+  std::vector<PlacementDistribution> sweep(
+      const std::vector<int>& client_counts) const;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace beesim::core

@@ -1,0 +1,48 @@
+#include "device/autonomy.hpp"
+
+#include <stdexcept>
+
+#include "device/calibration.hpp"
+#include "device/routine.hpp"
+
+namespace beesim::device {
+
+util::Seconds battery_autonomy(const energy::Battery& battery,
+                               util::Watts average_load) {
+  if (average_load < 0.0)
+    throw std::invalid_argument("battery_autonomy: negative load");
+  if (average_load == 0.0)
+    throw std::invalid_argument("battery_autonomy: zero load never drains");
+  return battery.available() / average_load;
+}
+
+util::Seconds beehive_autonomy(const energy::Battery& battery,
+                               util::Seconds wakeup_period) {
+  const util::Watts pi_power =
+      average_power_at_period(wakeup_period);
+  return battery_autonomy(battery, pi_power + cal::kZeroMonitorPower);
+}
+
+util::Seconds period_for_autonomy(const energy::Battery& battery,
+                                  util::Seconds target) {
+  if (target <= 0.0)
+    throw std::invalid_argument("period_for_autonomy: non-positive target");
+  // Even infinite periods cannot beat the sleep + monitor floor.
+  const util::Watts floor_power =
+      cal::kEdgeSleepPower + cal::kZeroMonitorPower;
+  if (battery.available() / floor_power < target) return 0.0;
+
+  util::Seconds lo = cal::kRoutineDuration + 1.0;  // shortest legal period
+  util::Seconds hi = 30.0 * util::kDay;
+  if (beehive_autonomy(battery, lo) >= target) return lo;
+  for (int i = 0; i < 64; ++i) {
+    const util::Seconds mid = 0.5 * (lo + hi);
+    if (beehive_autonomy(battery, mid) >= target)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace beesim::device

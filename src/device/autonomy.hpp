@@ -1,0 +1,31 @@
+#pragma once
+
+#include "energy/battery.hpp"
+#include "util/units.hpp"
+
+namespace beesim::device {
+
+/// Battery-only autonomy analysis: how long a smart beehive survives with
+/// no solar input. The related-work systems the paper cites report this
+/// figure (75 hours for one node, ~12 days for a lighter sensor stack);
+/// the helpers here compute it for any battery/load combination so
+/// deployments can be sized.
+
+/// Runtime until the protection cutoff under a constant average load.
+/// Infinite loads or empty batteries return 0.
+util::Seconds battery_autonomy(const energy::Battery& battery,
+                               util::Watts average_load);
+
+/// Autonomy of the full beehive stack (Pi 3B+ waking every `period` plus
+/// the always-on Zero monitor) on a given battery, using the calibrated
+/// Fig 3 average-power model.
+util::Seconds beehive_autonomy(const energy::Battery& battery,
+                               util::Seconds wakeup_period);
+
+/// The wake-up period needed to survive `target` on battery alone, or 0
+/// when even pure sleep cannot reach it. Found by bisection over the
+/// monotone period->autonomy map.
+util::Seconds period_for_autonomy(const energy::Battery& battery,
+                                  util::Seconds target);
+
+}  // namespace beesim::device

@@ -1,0 +1,112 @@
+#pragma once
+
+#include "util/units.hpp"
+
+/// Every constant the reproduction inherits from the paper's measurements,
+/// in one place. Each value cites the table/figure/paragraph it comes from
+/// (Hadjur, Lefevre, Ammar - PAISE 2023). Derived powers are computed as
+/// energy/time from the cited rows, which is why some carry more digits
+/// than the paper prints.
+namespace beesim::device::cal {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+// ---------------------------------------------------------------- Section IV
+/// Mean duration of one boot->collect->transfer->shutdown routine
+/// ("1 minute and 29 seconds").
+inline constexpr Seconds kRoutineDuration = 89.0;
+/// Mean power over a routine.
+inline constexpr Watts kRoutinePower = 2.14;
+/// Mean energy of one routine ("190.1 joules from boot to shutdown").
+inline constexpr Joules kRoutineEnergy = 190.1;
+/// Standard deviation of routine lengths (driven by network variance).
+inline constexpr Seconds kRoutineDurationStddev = 3.5;
+/// Standard deviation of routine mean power.
+inline constexpr Watts kRoutinePowerStddev = 0.009;
+/// Raspberry Pi 3B+ sleep-state draw ("converges toward ... 0.62 watts").
+/// Table I/II rows imply 111.6 J / 178.5 s = 0.625 W; we keep the rows'
+/// value so the tables reproduce exactly.
+inline constexpr Watts kEdgeSleepPower = 0.625;
+/// Average power observed at the 5-minute wake-up frequency (Fig 3 max).
+inline constexpr Watts kFig3PowerAt5Min = 1.19;
+/// Per-cycle fixed overhead (Wi-Fi association, GPIO wake handling) that
+/// reconciles Fig 3's 1.19 W @ 5 min with the 190.1 J routine + sleep
+/// baseline (see DESIGN.md section 5). Ours, not the paper's.
+inline constexpr Joules kCycleOverhead = 36.0;
+/// Number of routines in the paper's calibration dataset.
+inline constexpr int kCalibrationRoutineCount = 319;
+
+// ------------------------------------------------------------------- Table I
+// Edge scenario rows (per 5-minute cycle), Raspberry Pi 3B+.
+inline constexpr Seconds kWakeCollectTime = 64.0;
+inline constexpr Joules kWakeCollectEnergy = 131.8;
+inline constexpr Watts kWakeCollectPower = kWakeCollectEnergy /
+                                           kWakeCollectTime;  // 2.059 W
+
+inline constexpr Seconds kEdgeSvmTime = 46.1;
+inline constexpr Joules kEdgeSvmEnergy = 98.9;
+inline constexpr Watts kEdgeSvmPower = kEdgeSvmEnergy / kEdgeSvmTime;
+
+inline constexpr Seconds kEdgeCnnTime = 37.6;
+inline constexpr Joules kEdgeCnnEnergy = 94.8;
+inline constexpr Watts kEdgeCnnPower = kEdgeCnnEnergy / kEdgeCnnTime;
+
+inline constexpr Seconds kSendResultsTime = 1.5;
+inline constexpr Joules kSendResultsEnergy = 3.0;
+inline constexpr Watts kSendResultsPower = kSendResultsEnergy /
+                                           kSendResultsTime;
+
+inline constexpr Seconds kShutdownTime = 9.9;
+inline constexpr Joules kShutdownEnergy = 21.0;
+inline constexpr Watts kShutdownPower = kShutdownEnergy / kShutdownTime;
+
+// ------------------------------------------------------------------ Table II
+// Edge+Cloud scenario rows (per 5-minute cycle).
+inline constexpr Seconds kSendAudioTime = 15.0;
+inline constexpr Joules kSendAudioEnergy = 37.3;
+inline constexpr Watts kSendAudioPower = kSendAudioEnergy / kSendAudioTime;
+
+/// Cloud server (Intel i7-8700K + RTX 2070) idle: 9415 J / 211.1 s.
+inline constexpr Watts kCloudIdlePower = 9415.0 / 211.1;  // 44.60 W
+/// Receiving audio from a slot of clients: 1032 J / 15.0 s.
+inline constexpr Watts kCloudReceivePower = 1032.0 / 15.0;  // 68.8 W
+/// SVM inference on the server: 6.3 J / 0.1 s.
+inline constexpr Seconds kCloudSvmTime = 0.1;
+inline constexpr Joules kCloudSvmEnergy = 6.3;
+inline constexpr Watts kCloudSvmPower = kCloudSvmEnergy / kCloudSvmTime;
+/// CNN (ResNet18) inference on the server: 108 J / 1.0 s.
+inline constexpr Seconds kCloudCnnTime = 1.0;
+inline constexpr Joules kCloudCnnEnergy = 108.0;
+inline constexpr Watts kCloudCnnPower = kCloudCnnEnergy / kCloudCnnTime;
+
+// ---------------------------------------------------------------- Section VI
+/// Default cycle between wake-ups in the large-scale study.
+inline constexpr Seconds kDefaultCycle = 300.0;
+/// Default maximum clients served in parallel within one time slot.
+inline constexpr int kDefaultMaxParallel = 10;
+/// Loss model A: saturation penalty starts this many clients below the
+/// slot's maximum; each extra client multiplies slot energy by 1.10.
+inline constexpr int kLossASlackBelowMax = 5;
+inline constexpr double kLossAPenaltyPerClient = 0.10;
+/// Loss model B: extra transfer seconds per synchronized client in a slot.
+inline constexpr Seconds kLossBExtraPerClient = 1.5;
+/// Loss model C: clients lost per wake-up ~ N(0.10 * total, 2.0).
+inline constexpr double kLossCMeanFraction = 0.10;
+inline constexpr double kLossCStddev = 2.0;
+
+// --------------------------------------------------------------- Section III
+/// Raspberry Pi Zero WH monitoring node draw (always on). Not reported in
+/// the paper; typical measured idle for a Zero WH with ADC hat.
+inline constexpr Watts kZeroMonitorPower = 0.35;
+
+// ------------------------------------------------------------------ Figure 5
+/// ResNet18 inference on the RPi at 100x100 input costs 94.8 J / 37.6 s
+/// (Table I); the Fig 5 energy curve is quadratic in the image side. The
+/// compute model in ml/costmodel.hpp is calibrated through these two
+/// anchors.
+inline constexpr int kFig5ReferenceSide = 100;
+inline constexpr double kFig5ReferenceAccuracy = 0.99;
+
+}  // namespace beesim::device::cal

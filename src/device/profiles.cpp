@@ -1,0 +1,77 @@
+#include "device/profiles.hpp"
+
+#include <stdexcept>
+
+#include "device/calibration.hpp"
+
+namespace beesim::device {
+
+const TaskSpec& DeviceProfile::task(const std::string& task_name) const {
+  auto it = tasks.find(task_name);
+  if (it == tasks.end())
+    throw std::out_of_range("DeviceProfile '" + name + "' has no task '" +
+                            task_name + "'");
+  return it->second;
+}
+
+bool DeviceProfile::has_task(const std::string& task_name) const {
+  return tasks.count(task_name) != 0;
+}
+
+DeviceProfile rpi3bplus_profile() {
+  DeviceProfile p;
+  p.name = "rpi3bplus";
+  p.off_power = 0.0;
+  p.sleep_power = cal::kEdgeSleepPower;
+  p.idle_power = cal::kEdgeSleepPower;
+  // The transfer step carries the routine-length variance (sigma 3.5 s,
+  // Section IV); compute steps are nearly deterministic.
+  p.tasks = {
+      {"wake_collect",
+       {"wake_collect", cal::kWakeCollectTime, cal::kWakeCollectPower, 0.8}},
+      {"svm_inference",
+       {"svm_inference", cal::kEdgeSvmTime, cal::kEdgeSvmPower, 0.2}},
+      {"cnn_inference",
+       {"cnn_inference", cal::kEdgeCnnTime, cal::kEdgeCnnPower, 0.2}},
+      {"send_results",
+       {"send_results", cal::kSendResultsTime, cal::kSendResultsPower, 0.1}},
+      {"send_audio",
+       {"send_audio", cal::kSendAudioTime, cal::kSendAudioPower,
+        cal::kRoutineDurationStddev}},
+      {"shutdown",
+       {"shutdown", cal::kShutdownTime, cal::kShutdownPower, 0.3}},
+  };
+  return p;
+}
+
+DeviceProfile rpi_zero_profile() {
+  DeviceProfile p;
+  p.name = "rpi_zero_wh";
+  p.off_power = 0.0;
+  p.sleep_power = cal::kZeroMonitorPower;
+  p.idle_power = cal::kZeroMonitorPower;
+  p.tasks = {
+      {"sample_current", {"sample_current", 0.05, 0.45, 0.0}},
+      {"send_energy_record", {"send_energy_record", 2.0, 0.80, 0.5}},
+  };
+  return p;
+}
+
+DeviceProfile cloud_server_profile() {
+  DeviceProfile p;
+  p.name = "cloud_server";
+  p.off_power = 0.0;
+  p.sleep_power = cal::kCloudIdlePower;  // servers never sleep deeper
+  p.idle_power = cal::kCloudIdlePower;
+  p.tasks = {
+      {"receive_audio",
+       {"receive_audio", cal::kSendAudioTime, cal::kCloudReceivePower, 0.0}},
+      {"svm_inference",
+       {"svm_inference", cal::kCloudSvmTime, cal::kCloudSvmPower, 0.0}},
+      {"cnn_inference",
+       {"cnn_inference", cal::kCloudCnnTime, cal::kCloudCnnPower, 0.0}},
+  };
+  return p;
+}
+
+}  // namespace beesim::device

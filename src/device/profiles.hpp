@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "device/task.hpp"
+#include "util/units.hpp"
+
+namespace beesim::device {
+
+/// Static description of a device class: its baseline draws and the task
+/// vocabulary it can execute. Profiles are pure data; SimDevice binds one
+/// to the event engine.
+struct DeviceProfile {
+  std::string name;
+  util::Watts off_power = 0.0;
+  util::Watts sleep_power = 0.0;
+  util::Watts idle_power = 0.0;  // for always-on devices (servers, monitor)
+  std::map<std::string, TaskSpec> tasks;
+
+  const TaskSpec& task(const std::string& task_name) const;
+  bool has_task(const std::string& task_name) const;
+};
+
+/// Raspberry Pi 3B+ beehive data recorder, calibrated to Tables I/II.
+/// Task vocabulary: wake_collect, svm_inference, cnn_inference,
+/// send_results, send_audio, shutdown.
+DeviceProfile rpi3bplus_profile();
+
+/// Raspberry Pi Zero WH energy-monitoring node (always on).
+/// Task vocabulary: sample_current, send_energy_record.
+DeviceProfile rpi_zero_profile();
+
+/// Cloud server (i7-8700K + RTX 2070), calibrated to Table II.
+/// Task vocabulary: receive_audio, svm_inference, cnn_inference.
+DeviceProfile cloud_server_profile();
+
+}  // namespace beesim::device

@@ -1,0 +1,61 @@
+#include "device/sim_device.hpp"
+
+#include <stdexcept>
+
+namespace beesim::device {
+
+SimDevice::SimDevice(sim::Engine& engine, DeviceProfile profile,
+                     std::uint64_t seed)
+    : engine_(&engine), profile_(std::move(profile)), rng_(seed) {
+  meter_.set_power(engine.now(), profile_.off_power, "off");
+}
+
+void SimDevice::enter_sleep() {
+  if (busy_) throw std::logic_error("SimDevice: sleep while busy");
+  meter_.set_power(engine_->now(), profile_.sleep_power, "sleep");
+}
+
+void SimDevice::power_off() {
+  if (busy_) throw std::logic_error("SimDevice: power off while busy");
+  meter_.set_power(engine_->now(), profile_.off_power, "off");
+}
+
+void SimDevice::enter_idle() {
+  if (busy_) throw std::logic_error("SimDevice: idle while busy");
+  meter_.set_power(engine_->now(), profile_.idle_power, "idle");
+}
+
+void SimDevice::run_sequence(const std::vector<std::string>& task_names,
+                             DoneCallback done) {
+  TaskSequence tasks;
+  tasks.reserve(task_names.size());
+  for (const auto& name : task_names) tasks.push_back(profile_.task(name));
+  run_spec_sequence(std::move(tasks), std::move(done));
+}
+
+void SimDevice::run_spec_sequence(TaskSequence tasks, DoneCallback done) {
+  if (busy_) throw std::logic_error("SimDevice: already busy");
+  busy_ = true;
+  step(*engine_, std::move(tasks), 0, std::move(done));
+}
+
+void SimDevice::step(sim::Engine& engine, TaskSequence tasks,
+                     std::size_t index, DoneCallback done) {
+  if (index == tasks.size()) {
+    busy_ = false;
+    ++completed_;
+    enter_sleep();
+    if (done) done(engine);
+    return;
+  }
+  const TaskSpec& task = tasks[index];
+  meter_.set_power(engine.now(), task.power, task.name);
+  const util::Seconds duration = task.sampled_duration(rng_);
+  engine.schedule_after(duration, [this, tasks = std::move(tasks), index,
+                                   done = std::move(done)](
+                                      sim::Engine& eng) mutable {
+    step(eng, std::move(tasks), index + 1, std::move(done));
+  });
+}
+
+}  // namespace beesim::device

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "device/profiles.hpp"
+#include "energy/meter.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::device {
+
+/// A device profile bound to the event engine: executes task sequences,
+/// accounts energy through an EnergyMeter, and exposes sleep/off states.
+///
+/// The device is a small state machine: off -> sleeping -> running a
+/// sequence -> sleeping/off. Wake-ups are driven externally (the RPi Zero's
+/// GPIO signal in the deployed system) by calling run_sequence.
+class SimDevice {
+ public:
+  using DoneCallback = std::function<void(sim::Engine&)>;
+
+  SimDevice(sim::Engine& engine, DeviceProfile profile, std::uint64_t seed);
+
+  /// Enters the sleep state now (meter records sleep power onwards).
+  void enter_sleep();
+  /// Powers the device off (zero draw).
+  void power_off();
+  /// For always-on devices: idle baseline.
+  void enter_idle();
+
+  /// Executes the named tasks back-to-back starting now; on completion the
+  /// device returns to sleep and `done` fires. Task durations are sampled
+  /// with this device's RNG stream. Throws if already busy.
+  void run_sequence(const std::vector<std::string>& task_names,
+                    DoneCallback done = {});
+
+  /// Like run_sequence but with explicit specs (callers may override
+  /// durations, e.g. a transfer time computed from a Link).
+  void run_spec_sequence(TaskSequence tasks, DoneCallback done = {});
+
+  bool busy() const noexcept { return busy_; }
+  const DeviceProfile& profile() const noexcept { return profile_; }
+  energy::EnergyMeter& meter() noexcept { return meter_; }
+  const energy::EnergyMeter& meter() const noexcept { return meter_; }
+  util::Rng& rng() noexcept { return rng_; }
+
+  /// Number of completed sequences.
+  std::uint64_t sequences_completed() const noexcept { return completed_; }
+
+ private:
+  void step(sim::Engine& engine, TaskSequence tasks, std::size_t index,
+            DoneCallback done);
+
+  sim::Engine* engine_;
+  DeviceProfile profile_;
+  energy::EnergyMeter meter_;
+  util::Rng rng_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace beesim::device

@@ -1,0 +1,25 @@
+#include "device/task.hpp"
+
+#include <algorithm>
+
+namespace beesim::device {
+
+Seconds TaskSpec::sampled_duration(util::Rng& rng) const {
+  if (duration_stddev <= 0.0) return duration;
+  const Seconds sampled = rng.normal(duration, duration_stddev);
+  return std::max(sampled, 0.1 * duration);
+}
+
+Seconds nominal_duration(const TaskSequence& seq) noexcept {
+  Seconds total = 0.0;
+  for (const auto& t : seq) total += t.duration;
+  return total;
+}
+
+Joules nominal_energy(const TaskSequence& seq) noexcept {
+  Joules total = 0.0;
+  for (const auto& t : seq) total += t.nominal_energy();
+  return total;
+}
+
+}  // namespace beesim::device

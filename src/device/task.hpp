@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim::device {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+/// One step of a device routine: a named activity with a nominal duration,
+/// power draw, and optional duration jitter (e.g. network transfers vary,
+/// compute steps barely do).
+struct TaskSpec {
+  std::string name;
+  Seconds duration = 0.0;
+  Watts power = 0.0;
+  Seconds duration_stddev = 0.0;
+
+  Joules nominal_energy() const noexcept { return duration * power; }
+
+  /// Duration with jitter applied; never below 10 % of nominal.
+  Seconds sampled_duration(util::Rng& rng) const;
+};
+
+/// An ordered routine (e.g. wake -> collect -> send -> shutdown).
+using TaskSequence = std::vector<TaskSpec>;
+
+/// Sum of nominal durations.
+Seconds nominal_duration(const TaskSequence& seq) noexcept;
+/// Sum of nominal energies.
+Joules nominal_energy(const TaskSequence& seq) noexcept;
+
+}  // namespace beesim::device

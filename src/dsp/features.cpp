@@ -1,0 +1,155 @@
+#include "dsp/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace beesim::dsp {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+void check_input(const Matrix& power, double sample_rate) {
+  if (power.empty()) throw std::invalid_argument("features: empty input");
+  if (sample_rate <= 0.0)
+    throw std::invalid_argument("features: bad sample rate");
+}
+
+/// Bin b of an rfft power spectrogram with (bins-1)*2 FFT points.
+double bin_freq(std::size_t b, std::size_t bins, double sample_rate) {
+  const auto n_fft = static_cast<double>((bins - 1) * 2);
+  return static_cast<double>(b) * sample_rate / n_fft;
+}
+
+}  // namespace
+
+std::vector<double> spectral_centroid(const Matrix& power,
+                                      double sample_rate) {
+  check_input(power, sample_rate);
+  std::vector<double> out(power.cols());
+  for (std::size_t f = 0; f < power.cols(); ++f) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t b = 0; b < power.rows(); ++b) {
+      const double p = power(b, f);
+      num += p * bin_freq(b, power.rows(), sample_rate);
+      den += p;
+    }
+    out[f] = den > kEps ? num / den : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> spectral_bandwidth(const Matrix& power,
+                                       double sample_rate) {
+  check_input(power, sample_rate);
+  const auto centroid = spectral_centroid(power, sample_rate);
+  std::vector<double> out(power.cols());
+  for (std::size_t f = 0; f < power.cols(); ++f) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t b = 0; b < power.rows(); ++b) {
+      const double p = power(b, f);
+      const double d = bin_freq(b, power.rows(), sample_rate) - centroid[f];
+      num += p * d * d;
+      den += p;
+    }
+    out[f] = den > kEps ? std::sqrt(num / den) : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> spectral_rolloff(const Matrix& power,
+                                     double sample_rate, double fraction) {
+  check_input(power, sample_rate);
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("spectral_rolloff: fraction out of (0, 1]");
+  std::vector<double> out(power.cols());
+  for (std::size_t f = 0; f < power.cols(); ++f) {
+    double total = 0.0;
+    for (std::size_t b = 0; b < power.rows(); ++b) total += power(b, f);
+    const double target = fraction * total;
+    double acc = 0.0;
+    std::size_t roll = power.rows() - 1;
+    for (std::size_t b = 0; b < power.rows(); ++b) {
+      acc += power(b, f);
+      if (acc >= target && total > kEps) {
+        roll = b;
+        break;
+      }
+    }
+    out[f] = bin_freq(roll, power.rows(), sample_rate);
+  }
+  return out;
+}
+
+std::vector<double> spectral_flatness(const Matrix& power) {
+  if (power.empty())
+    throw std::invalid_argument("spectral_flatness: empty input");
+  std::vector<double> out(power.cols());
+  const auto bins = static_cast<double>(power.rows());
+  for (std::size_t f = 0; f < power.cols(); ++f) {
+    double log_sum = 0.0;
+    double sum = 0.0;
+    for (std::size_t b = 0; b < power.rows(); ++b) {
+      const double p = power(b, f) + kEps;
+      log_sum += std::log(p);
+      sum += p;
+    }
+    out[f] = std::exp(log_sum / bins) / (sum / bins);
+  }
+  return out;
+}
+
+std::vector<double> spectral_flux(const Matrix& power) {
+  if (power.empty())
+    throw std::invalid_argument("spectral_flux: empty input");
+  std::vector<double> out(power.cols(), 0.0);
+  std::vector<double> prev(power.rows(), 0.0);
+  std::vector<double> cur(power.rows(), 0.0);
+  for (std::size_t f = 0; f < power.cols(); ++f) {
+    double norm = 0.0;
+    for (std::size_t b = 0; b < power.rows(); ++b) norm += power(b, f);
+    norm = std::max(norm, kEps);
+    for (std::size_t b = 0; b < power.rows(); ++b)
+      cur[b] = power(b, f) / norm;
+    if (f > 0) {
+      double acc = 0.0;
+      for (std::size_t b = 0; b < power.rows(); ++b) {
+        const double d = cur[b] - prev[b];
+        acc += d * d;
+      }
+      out[f] = std::sqrt(acc);
+    }
+    std::swap(prev, cur);
+  }
+  return out;
+}
+
+std::vector<double> summarize(
+    const std::vector<std::vector<double>>& series) {
+  std::vector<double> out;
+  out.reserve(series.size() * 2);
+  for (const auto& s : series) {
+    if (s.empty()) throw std::invalid_argument("summarize: empty series");
+    double mean = 0.0;
+    for (double v : s) mean += v;
+    mean /= static_cast<double>(s.size());
+    double var = 0.0;
+    for (double v : s) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(s.size());
+    out.push_back(mean);
+    out.push_back(std::sqrt(var));
+  }
+  return out;
+}
+
+std::vector<double> spectral_descriptor(const Matrix& power,
+                                        double sample_rate) {
+  return summarize({spectral_centroid(power, sample_rate),
+                    spectral_bandwidth(power, sample_rate),
+                    spectral_rolloff(power, sample_rate),
+                    spectral_flatness(power), spectral_flux(power)});
+}
+
+}  // namespace beesim::dsp

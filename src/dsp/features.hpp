@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "dsp/matrix.hpp"
+
+namespace beesim::dsp {
+
+/// Classical spectral descriptors computed from a power spectrogram, the
+/// usual companions of mel features in bioacoustic classifiers (the
+/// queen-detection literature the paper follows uses exactly this
+/// family). All operate column-wise (per frame) and return per-frame
+/// series; summarize() turns a series into (mean, stddev) for fixed-size
+/// feature vectors.
+
+/// Frequency of the spectral center of mass per frame, in Hz.
+std::vector<double> spectral_centroid(const Matrix& power,
+                                      double sample_rate);
+
+/// Power-weighted standard deviation around the centroid per frame (Hz).
+std::vector<double> spectral_bandwidth(const Matrix& power,
+                                       double sample_rate);
+
+/// Frequency below which `fraction` of the spectral power lies (Hz).
+std::vector<double> spectral_rolloff(const Matrix& power,
+                                     double sample_rate,
+                                     double fraction = 0.85);
+
+/// Geometric mean / arithmetic mean of the spectrum per frame, in (0, 1];
+/// 1 for white noise, -> 0 for pure tones.
+std::vector<double> spectral_flatness(const Matrix& power);
+
+/// L2 distance between consecutive normalized spectra (first frame = 0).
+std::vector<double> spectral_flux(const Matrix& power);
+
+/// (mean, stddev) pairs over a set of per-frame series, concatenated —
+/// a fixed-size descriptor for classical classifiers.
+std::vector<double> summarize(
+    const std::vector<std::vector<double>>& series);
+
+/// The full descriptor for one clip's power spectrogram: mean/std of
+/// centroid, bandwidth, rolloff, flatness, and flux (10 values).
+std::vector<double> spectral_descriptor(const Matrix& power,
+                                        double sample_rate);
+
+}  // namespace beesim::dsp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace beesim::dsp {
+
+/// Dense row-major matrix of doubles; the carrier for spectrograms and
+/// filterbanks. Deliberately minimal — linear algebra lives at call sites
+/// where the loop structure is visible for optimization.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  /// Unchecked access for hot loops.
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+  const std::vector<double>& storage() const noexcept { return data_; }
+
+  double min() const;
+  double max() const;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_)
+      throw std::out_of_range("Matrix: index out of range");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Bilinear resize to (out_rows, out_cols); used to shrink the 128-band
+/// mel spectrogram into the LxL CNN input images of Fig 5.
+Matrix resize_bilinear(const Matrix& src, std::size_t out_rows,
+                       std::size_t out_cols);
+
+}  // namespace beesim::dsp

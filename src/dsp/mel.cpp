@@ -1,0 +1,93 @@
+#include "dsp/mel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace beesim::dsp {
+
+double hz_to_mel(double hz) noexcept {
+  return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double mel_to_hz(double mel) noexcept {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+Matrix mel_filterbank(std::size_t n_mels, std::size_t n_fft,
+                      double sample_rate, double fmin, double fmax) {
+  if (n_mels == 0 || n_fft == 0 || sample_rate <= 0.0)
+    throw std::invalid_argument("mel_filterbank: invalid params");
+  if (fmax <= 0.0) fmax = sample_rate / 2.0;
+  if (fmin < 0.0 || fmin >= fmax)
+    throw std::invalid_argument("mel_filterbank: bad fmin/fmax");
+
+  const std::size_t bins = n_fft / 2 + 1;
+  // n_mels + 2 anchor frequencies, evenly spaced on the mel axis.
+  std::vector<double> anchors_hz(n_mels + 2);
+  const double mel_lo = hz_to_mel(fmin);
+  const double mel_hi = hz_to_mel(fmax);
+  for (std::size_t i = 0; i < anchors_hz.size(); ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(n_mels + 1);
+    anchors_hz[i] = mel_to_hz(mel);
+  }
+
+  Matrix fb(n_mels, bins);
+  for (std::size_t m = 0; m < n_mels; ++m) {
+    const double left = anchors_hz[m];
+    const double center = anchors_hz[m + 1];
+    const double right = anchors_hz[m + 2];
+    for (std::size_t b = 0; b < bins; ++b) {
+      const double freq = static_cast<double>(b) * sample_rate /
+                          static_cast<double>(n_fft);
+      double weight = 0.0;
+      if (freq > left && freq < right) {
+        weight = freq <= center ? (freq - left) / (center - left)
+                                : (right - freq) / (right - center);
+      }
+      // Slaney-style area normalization keeps band energies comparable.
+      fb(m, b) = weight * 2.0 / (right - left);
+    }
+  }
+  return fb;
+}
+
+Matrix apply_filterbank(const Matrix& filterbank, const Matrix& power) {
+  if (filterbank.cols() != power.rows())
+    throw std::invalid_argument(
+        "apply_filterbank: filterbank cols != spectrum bins");
+  Matrix out(filterbank.rows(), power.cols());
+  for (std::size_t m = 0; m < filterbank.rows(); ++m) {
+    for (std::size_t b = 0; b < filterbank.cols(); ++b) {
+      const double w = filterbank(m, b);
+      if (w == 0.0) continue;
+      for (std::size_t f = 0; f < power.cols(); ++f)
+        out(m, f) += w * power(b, f);
+    }
+  }
+  return out;
+}
+
+Matrix power_to_db(const Matrix& power, double top_db) {
+  if (power.empty()) throw std::invalid_argument("power_to_db: empty");
+  if (top_db <= 0.0) throw std::invalid_argument("power_to_db: top_db <= 0");
+  constexpr double kAmin = 1e-10;
+  const double ref = std::max(power.max(), kAmin);
+  Matrix out(power.rows(), power.cols());
+  double peak = -1e300;
+  for (std::size_t r = 0; r < power.rows(); ++r)
+    for (std::size_t c = 0; c < power.cols(); ++c) {
+      const double db =
+          10.0 * std::log10(std::max(power(r, c), kAmin) / ref);
+      out(r, c) = db;
+      peak = std::max(peak, db);
+    }
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) = std::max(out(r, c), peak - top_db);
+  return out;
+}
+
+}  // namespace beesim::dsp

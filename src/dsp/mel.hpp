@@ -1,0 +1,27 @@
+#pragma once
+
+#include "dsp/matrix.hpp"
+
+namespace beesim::dsp {
+
+/// Frequency (Hz) to mel scale, HTK formula (librosa htk=True variant is
+/// close enough to Slaney's for this task; the classifier only needs a
+/// consistent warping).
+double hz_to_mel(double hz) noexcept;
+double mel_to_hz(double mel) noexcept;
+
+/// Triangular mel filterbank: n_mels rows x (n_fft/2 + 1) cols, mapping a
+/// power spectrum onto mel bands. fmin/fmax bound the filter placement.
+Matrix mel_filterbank(std::size_t n_mels, std::size_t n_fft,
+                      double sample_rate, double fmin = 0.0,
+                      double fmax = 0.0 /* 0 => sample_rate/2 */);
+
+/// Applies the filterbank to a power spectrogram (bins x frames),
+/// producing a (n_mels x frames) mel spectrogram.
+Matrix apply_filterbank(const Matrix& filterbank, const Matrix& power);
+
+/// Converts a power matrix to decibels relative to its maximum, with an
+/// 80 dB floor (librosa.power_to_db defaults).
+Matrix power_to_db(const Matrix& power, double top_db = 80.0);
+
+}  // namespace beesim::dsp

@@ -1,0 +1,53 @@
+#include "dsp/spectrogram.hpp"
+
+#include <stdexcept>
+
+#include "dsp/mel.hpp"
+
+namespace beesim::dsp {
+
+MelSpectrogram::MelSpectrogram() : MelSpectrogram(Params{}) {}
+
+MelSpectrogram::MelSpectrogram(const Params& params)
+    : params_(params),
+      filterbank_(mel_filterbank(params.n_mels, params.n_fft,
+                                 params.sample_rate, params.fmin,
+                                 params.fmax)) {}
+
+Matrix MelSpectrogram::compute(const std::vector<double>& signal) const {
+  StftParams sp;
+  sp.n_fft = params_.n_fft;
+  sp.hop = params_.hop;
+  const Matrix power = stft_power(signal, sp);
+  return apply_filterbank(filterbank_, power);
+}
+
+Matrix MelSpectrogram::compute_image(const std::vector<double>& signal,
+                                     std::size_t side) const {
+  if (side == 0)
+    throw std::invalid_argument("MelSpectrogram: zero image side");
+  const Matrix db = power_to_db(compute(signal));
+  Matrix img = resize_bilinear(db, side, side);
+  // Scale to [0, 1] for the CNN.
+  const double lo = img.min();
+  const double hi = img.max();
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (std::size_t r = 0; r < img.rows(); ++r)
+    for (std::size_t c = 0; c < img.cols(); ++c)
+      img(r, c) = (img(r, c) - lo) / span;
+  return img;
+}
+
+std::vector<double> MelSpectrogram::compute_features(
+    const std::vector<double>& signal) const {
+  const Matrix db = power_to_db(compute(signal));
+  std::vector<double> features(db.rows());
+  for (std::size_t m = 0; m < db.rows(); ++m) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < db.cols(); ++f) acc += db(m, f);
+    features[m] = acc / static_cast<double>(db.cols());
+  }
+  return features;
+}
+
+}  // namespace beesim::dsp

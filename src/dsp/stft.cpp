@@ -1,0 +1,63 @@
+#include "dsp/stft.hpp"
+
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace beesim::dsp {
+namespace {
+
+/// Reflect-pads the signal by pad samples on each side.
+std::vector<double> reflect_pad(const std::vector<double>& x,
+                                std::size_t pad) {
+  if (x.size() < 2)
+    throw std::invalid_argument("stft: signal too short to pad");
+  std::vector<double> out;
+  out.reserve(x.size() + 2 * pad);
+  for (std::size_t i = pad; i > 0; --i)
+    out.push_back(x[i % (x.size() - 1)]);
+  out.insert(out.end(), x.begin(), x.end());
+  for (std::size_t i = 0; i < pad; ++i) {
+    const std::size_t idx = x.size() - 2 - (i % (x.size() - 1));
+    out.push_back(x[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t stft_frame_count(std::size_t signal_len, const StftParams& p) {
+  const std::size_t padded =
+      p.center ? signal_len + p.n_fft : signal_len;
+  if (padded < p.n_fft) return 0;
+  return (padded - p.n_fft) / p.hop + 1;
+}
+
+Matrix stft_power(const std::vector<double>& signal,
+                  const StftParams& params) {
+  if (!is_power_of_two(params.n_fft))
+    throw std::invalid_argument("stft: n_fft must be a power of two");
+  if (params.hop == 0) throw std::invalid_argument("stft: hop must be > 0");
+
+  const std::vector<double> padded =
+      params.center ? reflect_pad(signal, params.n_fft / 2) : signal;
+  const std::size_t frames = stft_frame_count(signal.size(), params);
+  const std::size_t bins = params.n_fft / 2 + 1;
+  if (frames == 0) throw std::invalid_argument("stft: signal too short");
+
+  const std::vector<double> window = hann_window(params.n_fft);
+  Matrix out(bins, frames);
+  std::vector<double> frame(params.n_fft);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t start = f * params.hop;
+    for (std::size_t i = 0; i < params.n_fft; ++i)
+      frame[i] = padded[start + i] * window[i];
+    const auto spectrum = rfft(frame);
+    for (std::size_t b = 0; b < bins; ++b)
+      out(b, f) = std::norm(spectrum[b]);
+  }
+  return out;
+}
+
+}  // namespace beesim::dsp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "dsp/matrix.hpp"
+
+namespace beesim::dsp {
+
+/// Short-time Fourier transform parameters; defaults are the paper's
+/// spectrogram settings (Section V): n_fft 2048, hop 512.
+struct StftParams {
+  std::size_t n_fft = 2048;
+  std::size_t hop = 512;
+  bool center = true;  // reflect-pad by n_fft/2 like librosa
+};
+
+/// Power spectrogram |STFT|^2 with a periodic Hann window.
+/// Rows: n_fft/2 + 1 frequency bins. Cols: frames.
+Matrix stft_power(const std::vector<double>& signal,
+                  const StftParams& params = StftParams{});
+
+/// Number of frames stft_power produces for a signal of given length.
+std::size_t stft_frame_count(std::size_t signal_len, const StftParams& p);
+
+}  // namespace beesim::dsp

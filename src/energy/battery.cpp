@@ -1,0 +1,50 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beesim::energy {
+
+Battery::Battery() : Battery(Params{}) {}
+
+Battery::Battery(const Params& params) : params_(params) {
+  if (params_.capacity <= 0.0)
+    throw std::invalid_argument("Battery: non-positive capacity");
+  if (params_.charge_efficiency <= 0.0 || params_.charge_efficiency > 1.0 ||
+      params_.discharge_efficiency <= 0.0 ||
+      params_.discharge_efficiency > 1.0)
+    throw std::invalid_argument("Battery: efficiency out of (0, 1]");
+  if (params_.initial_soc < 0.0 || params_.initial_soc > 1.0)
+    throw std::invalid_argument("Battery: initial SoC out of [0, 1]");
+  if (params_.cutoff_soc < 0.0 || params_.cutoff_soc >= 1.0)
+    throw std::invalid_argument("Battery: cutoff SoC out of [0, 1)");
+  level_ = params_.capacity * params_.initial_soc;
+}
+
+Joules Battery::charge(Joules input) {
+  if (input < 0.0) throw std::invalid_argument("Battery::charge: negative");
+  const Joules headroom = params_.capacity - level_;
+  const Joules storable = input * params_.charge_efficiency;
+  const Joules stored = std::min(storable, headroom);
+  level_ += stored;
+  // Energy drawn from the source to store `stored`.
+  return stored / params_.charge_efficiency;
+}
+
+Joules Battery::discharge(Joules wanted) {
+  if (wanted < 0.0)
+    throw std::invalid_argument("Battery::discharge: negative");
+  const Joules deliverable = available();
+  const Joules delivered = std::min(wanted, deliverable);
+  // Clamp: floating-point cancellation must never leave a negative level.
+  level_ = std::max(0.0, level_ - delivered / params_.discharge_efficiency);
+  return delivered;
+}
+
+Joules Battery::available() const noexcept {
+  const Joules floor = params_.capacity * params_.cutoff_soc;
+  const Joules stored_above_cutoff = std::max(0.0, level_ - floor);
+  return stored_above_cutoff * params_.discharge_efficiency;
+}
+
+}  // namespace beesim::energy

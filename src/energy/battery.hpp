@@ -1,0 +1,56 @@
+#pragma once
+
+#include "util/units.hpp"
+
+namespace beesim::energy {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+/// Rechargeable battery with round-trip losses, modelling the paper's
+/// 20000 mAh / 5 V power bank. Charge and discharge clamp at the capacity
+/// bounds and report the accepted/delivered energy so callers can conserve
+/// energy exactly (property-tested).
+class Battery {
+ public:
+  struct Params {
+    Joules capacity = util::mah_to_joules(20000.0, 5.0);
+    double charge_efficiency = 0.92;     // fraction of input stored
+    double discharge_efficiency = 0.95;  // fraction of stored delivered
+    double initial_soc = 0.8;            // state of charge in [0, 1]
+    /// Below this state of charge the protection circuit cuts the output
+    /// (power banks refuse deep discharge).
+    double cutoff_soc = 0.05;
+  };
+
+  Battery();  // default Params
+  explicit Battery(const Params& params);
+
+  /// Offers `input` joules; returns the energy actually drawn from the
+  /// source (<= input; losses included; 0 when full).
+  Joules charge(Joules input);
+
+  /// Requests `wanted` joules at the output; returns the energy actually
+  /// delivered (<= wanted; 0 when at/below cutoff).
+  Joules discharge(Joules wanted);
+
+  Joules level() const noexcept { return level_; }
+  Joules capacity() const noexcept { return params_.capacity; }
+  double state_of_charge() const noexcept {
+    return level_ / params_.capacity;
+  }
+  bool cut_off() const noexcept {
+    return state_of_charge() <= params_.cutoff_soc;
+  }
+  /// Maximum energy deliverable right now (down to cutoff, after losses).
+  Joules available() const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  Joules level_;
+};
+
+}  // namespace beesim::energy

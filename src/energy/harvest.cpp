@@ -1,0 +1,86 @@
+#include "energy/harvest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace beesim::energy {
+
+HarvestNode::HarvestNode(SolarPanel panel, DcDcConverter converter,
+                         Battery battery, IrradianceModel irradiance)
+    : panel_(panel), converter_(converter), battery_(std::move(battery)),
+      irradiance_(std::move(irradiance)) {}
+
+HarvestNode::StepResult HarvestNode::step(util::Seconds t, util::Seconds dt,
+                                          util::Watts load_power) {
+  if (dt <= 0.0) throw std::invalid_argument("HarvestNode::step: dt <= 0");
+  if (load_power < 0.0)
+    throw std::invalid_argument("HarvestNode::step: negative load");
+
+  StepResult r;
+  // Irradiance sampled at the interval midpoint; dt is expected to be
+  // minutes, far below the cloud-process timescale.
+  const double irr = irradiance_.at(t + 0.5 * dt);
+  const util::Watts panel_w = panel_.output(irr);
+  // Panel feeds through the converter; conversion losses apply to whatever
+  // the panel produces at its operating point.
+  const double eta = converter_.efficiency(std::min(
+      panel_w, converter_.params().max_output));
+  const util::Watts usable_w =
+      std::min(panel_w, converter_.params().max_output) * eta;
+  r.solar_in = usable_w * dt;
+  total_harvested_ += r.solar_in;
+
+  const util::Joules requested = load_power * dt;
+  const util::Joules level_before = battery_.level();
+
+  if (r.solar_in >= requested) {
+    // Solar covers the load; surplus charges the battery.
+    r.delivered = requested;
+    battery_.charge(r.solar_in - requested);
+  } else {
+    // Solar first, battery covers the gap (down to cutoff).
+    const util::Joules gap = requested - r.solar_in;
+    const util::Joules from_battery = battery_.discharge(gap);
+    r.delivered = r.solar_in + from_battery;
+  }
+  r.stored = battery_.level() - level_before;
+  r.shortfall = requested - r.delivered;
+  r.brownout = r.shortfall > 1e-9;
+  total_delivered_ += r.delivered;
+  total_shortfall_ += r.shortfall;
+  return r;
+}
+
+bool HarvestNode::can_serve(util::Seconds t, util::Watts load_power) {
+  const double irr = irradiance_.at(t);
+  const util::Watts panel_w = panel_.output(irr);
+  if (panel_w >= load_power) return true;
+  return !battery_.cut_off();
+}
+
+CurrentSensor::CurrentSensor() : CurrentSensor(Params{}) {}
+
+CurrentSensor::CurrentSensor(const Params& params)
+    : params_(params), rng_(params.seed) {
+  if (params_.full_scale_amps <= 0.0 || params_.adc_bits < 1 ||
+      params_.adc_bits > 24 || params_.bus_volts <= 0.0)
+    throw std::invalid_argument("CurrentSensor: invalid params");
+  // Bipolar range (-FS, +FS) across the ADC codes.
+  lsb_ = 2.0 * params_.full_scale_amps /
+         static_cast<double>(1 << params_.adc_bits);
+}
+
+double CurrentSensor::measure_current(double true_amps) {
+  const double noisy = true_amps + rng_.normal(0.0, params_.noise_amps);
+  const double clamped =
+      std::clamp(noisy, -params_.full_scale_amps, params_.full_scale_amps);
+  return std::round(clamped / lsb_) * lsb_;
+}
+
+util::Watts CurrentSensor::measure_power(util::Watts true_watts) {
+  const double amps = true_watts / params_.bus_volts;
+  return measure_current(amps) * params_.bus_volts;
+}
+
+}  // namespace beesim::energy

@@ -1,0 +1,91 @@
+#pragma once
+
+#include "energy/battery.hpp"
+#include "energy/solar.hpp"
+#include "util/units.hpp"
+
+namespace beesim::energy {
+
+/// Solar panel -> DC/DC converter -> battery -> load chain; the "energy
+/// node" of the deployed system (paper Section III). Stepped explicitly by
+/// the simulation (typically from a PeriodicTask) with the load power the
+/// devices request over each interval.
+///
+/// Reproduces the availability envelope of Fig 2a: at night the panel is
+/// dark, and once the battery protection cuts off, the node browns out
+/// until the next morning delivers charge again.
+class HarvestNode {
+ public:
+  struct StepResult {
+    util::Joules solar_in = 0.0;       // harvested at the panel output
+    util::Joules stored = 0.0;         // net battery delta (may be < 0)
+    util::Joules delivered = 0.0;      // energy actually given to the load
+    util::Joules shortfall = 0.0;      // requested - delivered
+    bool brownout = false;             // load was not fully served
+  };
+
+  HarvestNode(SolarPanel panel, DcDcConverter converter, Battery battery,
+              IrradianceModel irradiance);
+
+  /// Advances the node over [t, t + dt] with a constant requested load.
+  /// Solar energy serves the load first; surplus charges the battery;
+  /// deficit discharges it. Returns the energy bookkeeping for the step.
+  StepResult step(util::Seconds t, util::Seconds dt,
+                  util::Watts load_power);
+
+  /// Whether the node can currently serve `load_power` (used by devices to
+  /// decide if a wake-up is possible at all).
+  bool can_serve(util::Seconds t, util::Watts load_power);
+
+  const Battery& battery() const noexcept { return battery_; }
+  Battery& battery() noexcept { return battery_; }
+  IrradianceModel& irradiance() noexcept { return irradiance_; }
+  const SolarPanel& panel() const noexcept { return panel_; }
+
+  /// Cumulative counters since construction.
+  util::Joules total_harvested() const noexcept { return total_harvested_; }
+  util::Joules total_delivered() const noexcept { return total_delivered_; }
+  util::Joules total_shortfall() const noexcept { return total_shortfall_; }
+
+ private:
+  SolarPanel panel_;
+  DcDcConverter converter_;
+  Battery battery_;
+  IrradianceModel irradiance_;
+  util::Joules total_harvested_ = 0.0;
+  util::Joules total_delivered_ = 0.0;
+  util::Joules total_shortfall_ = 0.0;
+};
+
+/// Grove-style +-5 A hall current sensor behind a 12-bit ADC, as wired on
+/// the Raspberry Pi Zero monitoring node. Converts a true power draw into
+/// what the monitoring pipeline would record (quantization + noise), so
+/// "measured" figures in the benches carry realistic sensor artifacts.
+class CurrentSensor {
+ public:
+  struct Params {
+    double full_scale_amps = 5.0;
+    int adc_bits = 12;
+    double noise_amps = 0.01;  // rms input-referred noise
+    double bus_volts = 5.0;
+    std::uint64_t seed = 1234;
+  };
+
+  CurrentSensor();  // default Params
+  explicit CurrentSensor(const Params& params);
+
+  /// Measured current (amps) for a true current; clamped to full scale.
+  double measure_current(double true_amps);
+
+  /// Measured power for a true power draw at the configured bus voltage.
+  util::Watts measure_power(util::Watts true_watts);
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  double lsb_;
+};
+
+}  // namespace beesim::energy

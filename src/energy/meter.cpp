@@ -1,0 +1,44 @@
+#include "energy/meter.hpp"
+
+#include <stdexcept>
+
+namespace beesim::energy {
+
+void EnergyMeter::set_power(sim::SimTime t, Watts watts,
+                            const std::string& state) {
+  advance_to(t);
+  power_ = watts;
+  state_ = state;
+  if (series_ != nullptr) series_->append(t, watts);
+}
+
+void EnergyMeter::advance_to(sim::SimTime t) {
+  if (t < last_change_)
+    throw std::invalid_argument("EnergyMeter: time went backwards");
+  const Seconds dt = t - last_change_;
+  if (dt > 0.0) {
+    const Joules e = power_ * dt;
+    total_ += e;
+    by_state_[state_] += e;
+    state_time_[state_] += dt;
+  }
+  last_change_ = t;
+}
+
+Joules EnergyMeter::in_state(const std::string& state) const {
+  auto it = by_state_.find(state);
+  return it == by_state_.end() ? 0.0 : it->second;
+}
+
+Seconds EnergyMeter::time_in_state(const std::string& state) const {
+  auto it = state_time_.find(state);
+  return it == state_time_.end() ? 0.0 : it->second;
+}
+
+void EnergyMeter::reset_totals() {
+  total_ = 0.0;
+  by_state_.clear();
+  state_time_.clear();
+}
+
+}  // namespace beesim::energy

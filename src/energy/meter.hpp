@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace beesim::energy {
+
+using util::Joules;
+using util::Seconds;
+using util::Watts;
+
+/// Integrates a piecewise-constant power draw into energy, attributed per
+/// named power state. This is the software twin of the paper's Grove
+/// current-sensor + Raspberry Pi Zero monitoring node: every device holds
+/// one meter and the experiment harness reads task-level breakdowns from it
+/// (the rows of Tables I and II).
+class EnergyMeter {
+ public:
+  /// Declares the power drawn from `t` onwards, attributed to `state`.
+  /// Integrates the previous level over [last_change, t) first.
+  void set_power(sim::SimTime t, Watts watts, const std::string& state);
+
+  /// Integrates the current level up to `t` without changing it.
+  void advance_to(sim::SimTime t);
+
+  Watts current_power() const noexcept { return power_; }
+  const std::string& current_state() const noexcept { return state_; }
+
+  Joules total() const noexcept { return total_; }
+  Joules in_state(const std::string& state) const;
+  const std::map<std::string, Joules>& by_state() const noexcept {
+    return by_state_;
+  }
+  /// Time spent per state so far.
+  Seconds time_in_state(const std::string& state) const;
+
+  /// Mirrors every power change into a trace series (may be null to
+  /// detach). The series records (time, watts) steps.
+  void attach_series(sim::Series* series) noexcept { series_ = series; }
+
+  /// Clears accumulated totals (power level and state are kept). Used when
+  /// an experiment wants per-cycle accounting.
+  void reset_totals();
+
+ private:
+  Watts power_ = 0.0;
+  std::string state_ = "off";
+  sim::SimTime last_change_ = 0.0;
+  Joules total_ = 0.0;
+  std::map<std::string, Joules> by_state_;
+  std::map<std::string, Seconds> state_time_;
+  sim::Series* series_ = nullptr;
+};
+
+}  // namespace beesim::energy

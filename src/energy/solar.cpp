@@ -1,0 +1,130 @@
+#include "energy/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace beesim::energy {
+
+IrradianceModel::Params IrradianceModel::Params::summer(
+    std::uint64_t seed_value) {
+  Params p;  // defaults are the summer deployment window
+  p.seed = seed_value;
+  return p;
+}
+
+IrradianceModel::Params IrradianceModel::Params::equinox(
+    std::uint64_t seed_value) {
+  Params p;
+  p.sunrise = 7.0 * util::kHour;
+  p.sunset = 19.0 * util::kHour;
+  p.peak_scale = 0.75;
+  p.cloud_mean = 0.35;
+  p.seed = seed_value;
+  return p;
+}
+
+IrradianceModel::Params IrradianceModel::Params::winter(
+    std::uint64_t seed_value) {
+  Params p;
+  p.sunrise = 8.5 * util::kHour;
+  p.sunset = 17.0 * util::kHour;
+  p.peak_scale = 0.4;   // low sun elevation
+  p.cloud_mean = 0.45;  // overcast season
+  p.seed = seed_value;
+  return p;
+}
+
+IrradianceModel::IrradianceModel() : IrradianceModel(Params{}) {}
+
+IrradianceModel::IrradianceModel(const Params& params)
+    : params_(params), rng_(params.seed),
+      cloud_attenuation_(params.cloud_mean) {
+  if (params_.sunrise >= params_.sunset)
+    throw std::invalid_argument("IrradianceModel: sunrise after sunset");
+  if (params_.cloud_step <= 0.0)
+    throw std::invalid_argument("IrradianceModel: non-positive cloud step");
+}
+
+double IrradianceModel::clear_sky(Seconds time_of_day) const {
+  if (time_of_day < params_.sunrise || time_of_day > params_.sunset)
+    return 0.0;
+  const double phase = (time_of_day - params_.sunrise) /
+                       (params_.sunset - params_.sunrise);
+  const double arc = std::sin(std::numbers::pi * phase);
+  return std::pow(std::max(0.0, arc), params_.shape);
+}
+
+void IrradianceModel::advance_clouds(Seconds t) {
+  if (t < cloud_time_) {
+    // Rewind: restart the walk deterministically from the seed.
+    rng_ = util::Rng(params_.seed);
+    cloud_time_ = 0.0;
+    cloud_attenuation_ = params_.cloud_mean;
+  }
+  while (cloud_time_ + params_.cloud_step <= t) {
+    cloud_time_ += params_.cloud_step;
+    const double step_hours = params_.cloud_step / util::kHour;
+    // Mean-reverting walk clamped to [0, 0.9].
+    const double pull = 0.3 * (params_.cloud_mean - cloud_attenuation_);
+    const double noise =
+        rng_.normal(0.0, params_.cloud_volatility * std::sqrt(step_hours));
+    cloud_attenuation_ =
+        std::clamp(cloud_attenuation_ + pull * step_hours + noise, 0.0, 0.9);
+  }
+}
+
+double IrradianceModel::at(Seconds t) {
+  if (t < 0.0) throw std::invalid_argument("IrradianceModel: negative time");
+  advance_clouds(t);
+  const Seconds time_of_day = std::fmod(t, util::kDay);
+  return params_.peak_scale * clear_sky(time_of_day) *
+         (1.0 - cloud_attenuation_);
+}
+
+bool IrradianceModel::daylight(Seconds t) const {
+  const Seconds time_of_day = std::fmod(t, util::kDay);
+  return time_of_day >= params_.sunrise && time_of_day <= params_.sunset;
+}
+
+SolarPanel::SolarPanel() : SolarPanel(Params{}) {}
+
+SolarPanel::SolarPanel(const Params& params) : params_(params) {
+  if (params_.rated <= 0.0)
+    throw std::invalid_argument("SolarPanel: non-positive rating");
+}
+
+Watts SolarPanel::output(double irradiance_fraction) const {
+  if (irradiance_fraction < params_.low_light_cutoff) return 0.0;
+  return params_.rated * params_.derating *
+         std::clamp(irradiance_fraction, 0.0, 1.0);
+}
+
+DcDcConverter::DcDcConverter() : DcDcConverter(Params{}) {}
+
+DcDcConverter::DcDcConverter(const Params& params) : params_(params) {
+  if (params_.max_output <= 0.0 || params_.peak_efficiency <= 0.0 ||
+      params_.peak_efficiency > 1.0 || params_.knee_fraction <= 0.0)
+    throw std::invalid_argument("DcDcConverter: invalid params");
+}
+
+double DcDcConverter::efficiency(Watts output_power) const {
+  if (output_power <= 0.0) return 0.0;
+  if (output_power > params_.max_output) return 0.0;
+  const double load = output_power / params_.max_output;
+  // Saturating curve: eta(load) = peak * load / (load + knee*(1-load)).
+  const double eta = params_.peak_efficiency * load /
+                     (load + params_.knee_fraction * (1.0 - load));
+  return eta;
+}
+
+Watts DcDcConverter::input_for(Watts output_power) const {
+  if (output_power <= 0.0) return 0.0;
+  const double eta = efficiency(output_power);
+  if (eta <= 0.0) return std::numeric_limits<double>::infinity();
+  return output_power / eta;
+}
+
+}  // namespace beesim::energy

@@ -1,0 +1,65 @@
+#include "hive/adaptive.hpp"
+
+#include <stdexcept>
+
+namespace beesim::hive {
+
+AdaptiveController::AdaptiveController(const AdaptiveWakeupPolicy& policy)
+    : policy_(policy) {
+  if (policy_.base_period <= 0.0 ||
+      policy_.low_period < policy_.base_period ||
+      policy_.critical_period < policy_.low_period)
+    throw std::invalid_argument(
+        "AdaptiveController: periods must grow with severity");
+  if (policy_.critical_soc <= 0.0 || policy_.low_soc <= policy_.critical_soc ||
+      policy_.low_soc >= 1.0 || policy_.recovery_margin < 0.0)
+    throw std::invalid_argument("AdaptiveController: bad thresholds");
+}
+
+util::Seconds AdaptiveController::update(double state_of_charge) {
+  const Regime before = regime_;
+  switch (regime_) {
+    case Regime::kNormal:
+      if (state_of_charge < policy_.critical_soc)
+        regime_ = Regime::kCritical;
+      else if (state_of_charge < policy_.low_soc)
+        regime_ = Regime::kLow;
+      break;
+    case Regime::kLow:
+      if (state_of_charge < policy_.critical_soc)
+        regime_ = Regime::kCritical;
+      else if (state_of_charge > policy_.low_soc + policy_.recovery_margin)
+        regime_ = Regime::kNormal;
+      break;
+    case Regime::kCritical:
+      if (state_of_charge >
+          policy_.low_soc + policy_.recovery_margin)
+        regime_ = Regime::kNormal;
+      else if (state_of_charge >
+               policy_.critical_soc + policy_.recovery_margin)
+        regime_ = Regime::kLow;
+      break;
+  }
+  if (regime_ != before) ++transitions_;
+  return current_period();
+}
+
+util::Seconds AdaptiveController::current_period() const noexcept {
+  switch (regime_) {
+    case Regime::kNormal: return policy_.base_period;
+    case Regime::kLow: return policy_.low_period;
+    case Regime::kCritical: return policy_.critical_period;
+  }
+  return policy_.base_period;
+}
+
+const char* to_string(AdaptiveController::Regime regime) noexcept {
+  switch (regime) {
+    case AdaptiveController::Regime::kNormal: return "normal";
+    case AdaptiveController::Regime::kLow: return "low";
+    case AdaptiveController::Regime::kCritical: return "critical";
+  }
+  return "?";
+}
+
+}  // namespace beesim::hive

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "util/units.hpp"
+
+namespace beesim::hive {
+
+/// Battery-aware wake-up scheduling — the paper's stated future work
+/// ("build connected beehives' intelligence to tune its parameters").
+/// The controller stretches the wake-up period when the battery runs low
+/// so the hive trades data resolution for survival, with hysteresis so
+/// the period does not chatter around a threshold.
+struct AdaptiveWakeupPolicy {
+  util::Seconds base_period = 10.0 * util::kMinute;
+  util::Seconds low_period = 30.0 * util::kMinute;
+  util::Seconds critical_period = 2.0 * util::kHour;
+
+  /// State-of-charge thresholds for entering each regime...
+  double low_soc = 0.45;
+  double critical_soc = 0.32;
+  /// ...and the extra margin required to step back up (hysteresis).
+  double recovery_margin = 0.08;
+};
+
+/// Pure decision logic (kept separate from SmartBeehive so it is unit
+/// testable): feed it the battery state of charge, read back the period.
+class AdaptiveController {
+ public:
+  enum class Regime { kNormal, kLow, kCritical };
+
+  explicit AdaptiveController(const AdaptiveWakeupPolicy& policy);
+
+  /// Updates the regime from the current state of charge and returns the
+  /// wake-up period to use from now on.
+  util::Seconds update(double state_of_charge);
+
+  Regime regime() const noexcept { return regime_; }
+  util::Seconds current_period() const noexcept;
+  /// How many times the regime changed so far.
+  int transitions() const noexcept { return transitions_; }
+
+  const AdaptiveWakeupPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  AdaptiveWakeupPolicy policy_;
+  Regime regime_ = Regime::kNormal;
+  int transitions_ = 0;
+};
+
+const char* to_string(AdaptiveController::Regime regime) noexcept;
+
+}  // namespace beesim::hive

@@ -1,0 +1,69 @@
+#include "hive/apiary.hpp"
+
+#include <stdexcept>
+
+namespace beesim::hive {
+
+Apiary::Apiary(sim::Engine& engine, const Config& config,
+               sim::TraceRecorder* trace)
+    : config_(config) {
+  if (config_.hive_count < 1)
+    throw std::invalid_argument("Apiary: hive_count < 1");
+  hives_.reserve(static_cast<std::size_t>(config_.hive_count));
+  for (int i = 0; i < config_.hive_count; ++i) {
+    SmartBeehive::Config hive_cfg = config_.hive;
+    // Shared sky: every hive at the site sees the same irradiance and
+    // weather realization...
+    hive_cfg.energy.irradiance.seed = config_.site_seed;
+    hive_cfg.weather.seed = config_.site_seed ^ 0x5eedULL;
+    // ...but device jitter, sensors, and colonies are per-hive.
+    hive_cfg.seed = config_.site_seed * 1000 +
+                    static_cast<std::uint64_t>(i);
+    hives_.push_back(
+        std::make_unique<SmartBeehive>(engine, hive_cfg, trace != nullptr &&
+                                                          i == 0
+                                                      ? trace
+                                                      : nullptr));
+  }
+}
+
+void Apiary::settle() {
+  for (auto& hive : hives_) hive->settle();
+}
+
+Apiary::SiteStats Apiary::site_stats() const {
+  SiteStats site;
+  for (const auto& hive : hives_) {
+    const auto stats = hive->stats();
+    site.wakeups_attempted += stats.wakeups_attempted;
+    site.wakeups_completed += stats.wakeups_completed;
+    site.wakeups_skipped += stats.wakeups_skipped;
+    site.consumed += stats.consumed;
+    site.harvested += stats.harvested;
+    site.total_outage += stats.outage_time;
+    if (stats.outage_time > 0.0) ++site.hives_with_outage;
+  }
+  return site;
+}
+
+std::vector<std::unique_ptr<Apiary>> paper_deployment(
+    sim::Engine& engine, const SmartBeehive::Config& hive_template,
+    sim::TraceRecorder* trace) {
+  std::vector<std::unique_ptr<Apiary>> sites;
+  Apiary::Config cachan;
+  cachan.name = "Cachan";
+  cachan.hive_count = 2;
+  cachan.hive = hive_template;
+  cachan.site_seed = 9401;  // postcode-flavoured seeds
+  sites.push_back(std::make_unique<Apiary>(engine, cachan, trace));
+
+  Apiary::Config lyon;
+  lyon.name = "Lyon";
+  lyon.hive_count = 3;
+  lyon.hive = hive_template;
+  lyon.site_seed = 6900;
+  sites.push_back(std::make_unique<Apiary>(engine, lyon, nullptr));
+  return sites;
+}
+
+}  // namespace beesim::hive

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hive/beehive.hpp"
+
+namespace beesim::hive {
+
+/// A site of co-located smart beehives (the paper deploys two in Cachan
+/// and three in Lyon). Hives at one site share the weather and the solar
+/// conditions — their irradiance/weather processes use the site seed —
+/// but have independent colonies, sensors, batteries, and jitter.
+class Apiary {
+ public:
+  struct Config {
+    std::string name = "apiary";
+    int hive_count = 3;
+    /// Per-hive template; seed/irradiance/weather seeds are overridden by
+    /// the site so all hives see the same sky.
+    SmartBeehive::Config hive;
+    std::uint64_t site_seed = 501;
+  };
+
+  struct SiteStats {
+    std::uint64_t wakeups_attempted = 0;
+    std::uint64_t wakeups_completed = 0;
+    std::uint64_t wakeups_skipped = 0;
+    util::Joules consumed = 0.0;
+    util::Joules harvested = 0.0;
+    util::Seconds total_outage = 0.0;  // summed over hives
+    int hives_with_outage = 0;
+
+    double completion_rate() const noexcept {
+      return wakeups_attempted > 0
+                 ? static_cast<double>(wakeups_completed) /
+                       static_cast<double>(wakeups_attempted)
+                 : 0.0;
+    }
+  };
+
+  /// Builds the hives and schedules them on the engine.
+  Apiary(sim::Engine& engine, const Config& config,
+         sim::TraceRecorder* trace);
+
+  Apiary(const Apiary&) = delete;
+  Apiary& operator=(const Apiary&) = delete;
+
+  std::size_t size() const noexcept { return hives_.size(); }
+  SmartBeehive& hive(std::size_t i) { return *hives_.at(i); }
+  const SmartBeehive& hive(std::size_t i) const { return *hives_.at(i); }
+
+  /// Finalizes meters on every hive (call after the run).
+  void settle();
+
+  /// Aggregated statistics across the site.
+  SiteStats site_stats() const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<SmartBeehive>> hives_;
+};
+
+/// The paper's deployment: two sites ("Cachan", 2 hives; "Lyon", 3
+/// hives) with slightly different weather seeds, on the given engine.
+std::vector<std::unique_ptr<Apiary>> paper_deployment(
+    sim::Engine& engine, const SmartBeehive::Config& hive_template,
+    sim::TraceRecorder* trace = nullptr);
+
+}  // namespace beesim::hive

@@ -1,0 +1,182 @@
+#include "hive/beehive.hpp"
+
+#include <cmath>
+
+#include "device/calibration.hpp"
+#include "device/profiles.hpp"
+
+namespace beesim::hive {
+
+EnergyChainConfig EnergyChainConfig::nominal(std::uint64_t seed) {
+  EnergyChainConfig c;
+  c.irradiance.seed = seed;
+  return c;  // defaults already model the deployed 30 W / 20 Ah chain
+}
+
+EnergyChainConfig EnergyChainConfig::degraded(std::uint64_t seed) {
+  EnergyChainConfig c = nominal(seed);
+  // Field behaviour (Fig 2a): the bank never charges much above a sliver
+  // of capacity and protection trips early, so the hive dies after dusk.
+  c.battery.capacity = util::mah_to_joules(1200.0, 5.0);
+  c.battery.initial_soc = 0.5;
+  c.battery.cutoff_soc = 0.30;
+  c.battery.charge_efficiency = 0.80;
+  return c;
+}
+
+EnergyChainConfig EnergyChainConfig::undersized(std::uint64_t seed) {
+  EnergyChainConfig c = nominal(seed);
+  c.battery.capacity = util::mah_to_joules(2400.0, 5.0);
+  c.battery.initial_soc = 0.6;
+  c.battery.cutoff_soc = 0.05;
+  return c;
+}
+
+SmartBeehive::Config SmartBeehive::Config::field_deployment(
+    std::uint64_t seed) {
+  Config c;
+  c.seed = seed;
+  c.energy = EnergyChainConfig::degraded(seed);
+  c.colony_introduction = std::nullopt;
+  return c;
+}
+
+SmartBeehive::SmartBeehive(sim::Engine& engine, const Config& config,
+                           sim::TraceRecorder* trace)
+    : engine_(&engine), config_(config), trace_(trace),
+      weather_(config.weather),  // seed set by the caller (apiaries share it)
+      sht31_(config.seed ^ 0x31), gas_(config.seed ^ 0x9a5),
+      current_sensor_([&] {
+        energy::CurrentSensor::Params sp;
+        sp.seed = config.seed ^ 0xadc;
+        return energy::CurrentSensor(sp);
+      }()) {
+  if (config_.colony_introduction.has_value()) colony_.set_present(false);
+  if (config_.adaptive.has_value()) {
+    AdaptiveWakeupPolicy policy = *config_.adaptive;
+    policy.base_period = config_.wakeup_period;
+    adaptive_.emplace(policy);
+  }
+
+  node_ = std::make_unique<energy::HarvestNode>(
+      energy::SolarPanel(config_.energy.panel),
+      energy::DcDcConverter(config_.energy.converter),
+      energy::Battery(config_.energy.battery),
+      energy::IrradianceModel(config_.energy.irradiance));
+
+  pi_ = std::make_unique<device::SimDevice>(
+      engine, device::rpi3bplus_profile(), config_.seed ^ 0x3b);
+  zero_ = std::make_unique<device::SimDevice>(
+      engine, device::rpi_zero_profile(), config_.seed ^ 0x00);
+  pi_->enter_sleep();
+  zero_->enter_idle();
+  if (trace_ != nullptr)
+    pi_->meter().attach_series(&trace_->series("pi_power_w"));
+
+  monitor_task_ = std::make_unique<sim::PeriodicTask>(
+      engine, engine.now() + config_.monitor_step, config_.monitor_step,
+      [this](sim::Engine& eng, sim::PeriodicTask&) { monitor_tick(eng); });
+  wakeup_task_ = std::make_unique<sim::PeriodicTask>(
+      engine, engine.now() + config_.wakeup_period, config_.wakeup_period,
+      [this](sim::Engine& eng, sim::PeriodicTask&) { wakeup_tick(eng); });
+}
+
+void SmartBeehive::monitor_tick(sim::Engine& engine) {
+  const sim::SimTime t = engine.now();
+
+  // Colony introduction event.
+  if (config_.colony_introduction.has_value() &&
+      t >= *config_.colony_introduction && !colony_.present())
+    colony_.set_present(true);
+
+  // Integrate both meters up to now; the energy the devices actually
+  // consumed over [t - step, t] is drawn from the harvest chain as a
+  // constant-power load (exact conservation, property-tested). The meters
+  // also integrate on every task transition between ticks, so the delta
+  // must be taken against the running accounted total, not the pre-advance
+  // snapshot.
+  pi_->meter().advance_to(t);
+  zero_->meter().advance_to(t);
+  const util::Joules consumed_now =
+      pi_->meter().total() + zero_->meter().total();
+  const util::Joules interval_energy = consumed_now - accounted_consumed_;
+  accounted_consumed_ = consumed_now;
+  const util::Watts load = interval_energy / config_.monitor_step;
+  const auto step = node_->step(t - config_.monitor_step,
+                                config_.monitor_step, load);
+
+  if (step.brownout) {
+    stats_.outage_time += config_.monitor_step;
+    if (online_ && !pi_->busy()) {
+      pi_->power_off();
+      online_ = false;
+    }
+  } else if (!online_ &&
+             node_->battery().state_of_charge() >
+                 config_.energy.battery.cutoff_soc + 0.05) {
+    // Morning sun restored the battery margin: bring the recorder back.
+    online_ = true;
+    if (!pi_->busy()) pi_->enter_sleep();
+  }
+
+  if (adaptive_.has_value()) {
+    const util::Seconds period =
+        adaptive_->update(node_->battery().state_of_charge());
+    if (period != wakeup_task_->period()) wakeup_task_->set_period(period);
+  }
+
+  record_environment(t);
+}
+
+sim::SimTime SmartBeehive::wakeup_period() const {
+  return wakeup_task_->period();
+}
+
+void SmartBeehive::wakeup_tick(sim::Engine& engine) {
+  ++stats_.wakeups_attempted;
+  const util::Watts routine_power = device::cal::kRoutinePower +
+                                    device::cal::kZeroMonitorPower;
+  if (!online_ || pi_->busy() ||
+      !node_->can_serve(engine.now(), routine_power)) {
+    ++stats_.wakeups_skipped;
+    return;
+  }
+  device::TaskSequence tasks =
+      device::edge_routine(config_.placement, config_.service);
+  pi_->run_spec_sequence(std::move(tasks), [this](sim::Engine&) {
+    ++stats_.wakeups_completed;
+  });
+}
+
+void SmartBeehive::record_environment(sim::SimTime t) {
+  if (trace_ == nullptr) return;
+  auto snap = collect_snapshot(t, weather_, colony_, sht31_, gas_);
+  trace_->series("hive_temp_c").append(t, snap.in_hive.temperature);
+  trace_->series("hive_humidity").append(t, snap.in_hive.humidity);
+  trace_->series("ambient_temp_c").append(t, snap.ambient_temp);
+  trace_->series("ambient_humidity").append(t, snap.ambient_humidity);
+  trace_->series("irradiance_frac").append(t, node_->irradiance().at(t));
+  trace_->series("battery_soc")
+      .append(t, node_->battery().state_of_charge());
+  trace_->series("online").append(t, online_ ? 1.0 : 0.0);
+  // What the Zero's Grove current sensor would report for the Pi's draw
+  // at this instant (quantized + noisy) — the "measured" Fig 2b series.
+  trace_->series("pi_power_measured_w")
+      .append(t, current_sensor_.measure_power(
+                     pi_->meter().current_power()));
+}
+
+void SmartBeehive::settle() {
+  pi_->meter().advance_to(engine_->now());
+  zero_->meter().advance_to(engine_->now());
+}
+
+SmartBeehive::Stats SmartBeehive::stats() const {
+  Stats s = stats_;
+  s.harvested = node_->total_harvested();
+  s.consumed = pi_->meter().total() + zero_->meter().total();
+  if (adaptive_.has_value()) s.regime_transitions = adaptive_->transitions();
+  return s;
+}
+
+}  // namespace beesim::hive

@@ -1,0 +1,47 @@
+#include "hive/colony.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace beesim::hive {
+
+ColonyModel::ColonyModel() : ColonyModel(Params{}) {}
+
+ColonyModel::ColonyModel(const Params& params) : params_(params) {
+  if (params_.ambient_coupling_occupied < 0.0 ||
+      params_.ambient_coupling_occupied > 1.0 ||
+      params_.ambient_coupling_empty < 0.0 ||
+      params_.ambient_coupling_empty > 1.0)
+    throw std::invalid_argument("ColonyModel: coupling out of [0, 1]");
+}
+
+Celsius ColonyModel::hive_temp(Celsius ambient) const {
+  const double coupling = params_.present
+                              ? params_.ambient_coupling_occupied
+                              : params_.ambient_coupling_empty;
+  const Celsius setpoint =
+      params_.present ? params_.brood_setpoint : ambient;
+  return setpoint * (1.0 - coupling) + ambient * coupling;
+}
+
+double ColonyModel::hive_humidity(double ambient_humidity) const {
+  const double h = ambient_humidity +
+                   (params_.present ? params_.humidity_offset_occupied : 0.0);
+  return std::clamp(h, 0.05, 1.0);
+}
+
+double ColonyModel::activity(Seconds time_of_day, Celsius ambient) const {
+  if (!params_.present) return 0.0;
+  // Daylight gate (roughly 07:00-20:00) with a soft noon peak.
+  const double hours = time_of_day / util::kHour;
+  if (hours < 7.0 || hours > 20.0) return 0.05;  // night cluster hum
+  const double day_phase = (hours - 7.0) / 13.0;
+  const double gate = std::sin(std::numbers::pi * day_phase);
+  // Bees barely fly below ~10 degC; activity saturates above ~22 degC.
+  const double temp_factor = std::clamp((ambient - 10.0) / 12.0, 0.0, 1.0);
+  return std::clamp(0.05 + 0.95 * gate * temp_factor, 0.0, 1.0);
+}
+
+}  // namespace beesim::hive

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "hive/weather.hpp"
+#include "util/units.hpp"
+
+namespace beesim::hive {
+
+/// Biological state of the colony inside one beehive. Drives two things:
+/// the in-hive temperature/humidity the SHT31 sensor reads (an occupied
+/// colony thermoregulates the brood nest near 35 degC; an empty hive
+/// tracks ambient — the "abnormally low inside temperature" of Fig 2a),
+/// and the acoustic class (queenright / queenless) of the audio the
+/// microphones record.
+class ColonyModel {
+ public:
+  struct Params {
+    bool present = true;
+    bool queenright = true;
+    Celsius brood_setpoint = 35.0;
+    /// Coupling of in-hive temperature to ambient when occupied (0 =
+    /// perfect regulation, 1 = bare box).
+    double ambient_coupling_occupied = 0.12;
+    double ambient_coupling_empty = 0.92;
+    /// Extra in-hive humidity from nectar evaporation when occupied.
+    double humidity_offset_occupied = 0.08;
+  };
+
+  ColonyModel();  // defaults
+  explicit ColonyModel(const Params& params);
+
+  bool present() const noexcept { return params_.present; }
+  bool queenright() const noexcept { return params_.queenright; }
+  void set_present(bool present) noexcept { params_.present = present; }
+  void set_queenright(bool queenright) noexcept {
+    params_.queenright = queenright;
+  }
+
+  /// In-hive temperature given ambient conditions.
+  Celsius hive_temp(Celsius ambient) const;
+
+  /// In-hive relative humidity given the ambient value.
+  double hive_humidity(double ambient_humidity) const;
+
+  /// Foraging/ventilation activity in [0, 1]; peaks on warm daylight
+  /// hours, zero when the colony is absent. Scales the hum level of the
+  /// synthesized audio.
+  double activity(Seconds time_of_day, Celsius ambient) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace beesim::hive

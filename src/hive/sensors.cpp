@@ -1,0 +1,45 @@
+#include "hive/sensors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beesim::hive {
+
+Sht31Sensor::Sht31Sensor(std::uint64_t seed) : rng_(seed) {}
+
+Sht31Sensor::Reading Sht31Sensor::read(Celsius true_temp,
+                                       double true_humidity) {
+  Reading r;
+  r.temperature = true_temp + rng_.normal(0.0, 0.2);  // datasheet +-0.2 degC
+  r.humidity = std::clamp(true_humidity + rng_.normal(0.0, 0.02), 0.0, 1.0);
+  return r;
+}
+
+GasSensor::GasSensor(std::uint64_t seed) : rng_(seed) {}
+
+double GasSensor::read(double colony_activity) {
+  // CO2-like concentration rises with colony metabolism; slow baseline
+  // drift plus shot noise.
+  baseline_ += rng_.normal(0.0, 2.0);
+  baseline_ = std::clamp(baseline_, 350.0, 600.0);
+  return baseline_ + 900.0 * colony_activity +
+         std::abs(rng_.normal(0.0, 15.0));
+}
+
+CollectionSnapshot collect_snapshot(Seconds t, WeatherModel& weather,
+                                    const ColonyModel& colony,
+                                    Sht31Sensor& sht31, GasSensor& gas) {
+  CollectionSnapshot snap;
+  snap.ambient_temp = weather.ambient_temp(t);
+  snap.ambient_humidity = weather.humidity(t);
+  const Celsius hive_temp = colony.hive_temp(snap.ambient_temp);
+  const double hive_hum = colony.hive_humidity(snap.ambient_humidity);
+  snap.in_hive = sht31.read(hive_temp, hive_hum);
+  const Seconds time_of_day = std::fmod(t, util::kDay);
+  snap.colony_activity = colony.activity(time_of_day, snap.ambient_temp);
+  snap.gas = gas.read(snap.colony_activity);
+  snap.queen_present = colony.present() && colony.queenright();
+  return snap;
+}
+
+}  // namespace beesim::hive

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "hive/colony.hpp"
+#include "hive/weather.hpp"
+#include "util/rng.hpp"
+
+namespace beesim::hive {
+
+/// SHT31 temperature/humidity sensor on the queen excluder (Section III).
+/// Adds datasheet-grade noise to the true in-hive conditions.
+class Sht31Sensor {
+ public:
+  struct Reading {
+    Celsius temperature = 0.0;
+    double humidity = 0.0;  // relative, [0, 1]
+  };
+
+  explicit Sht31Sensor(std::uint64_t seed = 31);
+
+  Reading read(Celsius true_temp, double true_humidity);
+
+ private:
+  util::Rng rng_;
+};
+
+/// MQ-series gas sensor (arbitrary ppm-like units with drift); the paper
+/// wires one but does not analyze it, so the model is a plausible signal
+/// source for the data-size accounting.
+class GasSensor {
+ public:
+  explicit GasSensor(std::uint64_t seed = 135);
+
+  double read(double colony_activity);
+
+ private:
+  util::Rng rng_;
+  double baseline_ = 400.0;
+};
+
+/// Everything the Raspberry Pi 3B+ captures in one wake-up, with the true
+/// environmental state it derived from (for test oracles).
+struct CollectionSnapshot {
+  Sht31Sensor::Reading in_hive;
+  Celsius ambient_temp = 0.0;
+  double ambient_humidity = 0.0;
+  double gas = 0.0;
+  double colony_activity = 0.0;
+  bool queen_present = false;
+};
+
+/// Samples all sensors of one hive at absolute time t.
+CollectionSnapshot collect_snapshot(Seconds t, WeatherModel& weather,
+                                    const ColonyModel& colony,
+                                    Sht31Sensor& sht31, GasSensor& gas);
+
+}  // namespace beesim::hive

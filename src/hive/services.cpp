@@ -1,0 +1,102 @@
+#include "hive/services.hpp"
+
+#include <stdexcept>
+
+#include "device/calibration.hpp"
+#include "ml/costmodel.hpp"
+#include "net/payload.hpp"
+
+namespace beesim::hive {
+
+namespace cal = device::cal;
+
+util::Joules ServiceSpec::edge_energy_per_cycle() const {
+  if (period_cycles < 1)
+    throw std::logic_error("ServiceSpec: period_cycles < 1");
+  return edge_energy() / static_cast<double>(period_cycles);
+}
+
+namespace services {
+
+ServiceSpec queen_detection_svm() {
+  ServiceSpec s;
+  s.name = "queen_detection_svm";
+  s.edge_time = cal::kEdgeSvmTime;        // Table I (measured)
+  s.edge_power = cal::kEdgeSvmPower;
+  s.cloud_time = cal::kCloudSvmTime;      // Table II (measured)
+  s.cloud_power = cal::kCloudSvmPower;
+  s.upload_bytes = net::catalog::audio_sample().size;  // one 10 s clip
+  return s;
+}
+
+ServiceSpec queen_detection_cnn() {
+  ServiceSpec s;
+  s.name = "queen_detection_cnn";
+  s.edge_time = cal::kEdgeCnnTime;        // Table I (measured)
+  s.edge_power = cal::kEdgeCnnPower;
+  s.cloud_time = cal::kCloudCnnTime;      // Table II (measured)
+  s.cloud_power = cal::kCloudCnnPower;
+  s.upload_bytes = net::catalog::audio_sample().size;
+  return s;
+}
+
+ServiceSpec pollen_detection() {
+  // A ResNet18-class detector over each of the five 800x600 entrance
+  // images, letterboxed to 224x224; costs extrapolated through the same
+  // compute models that reproduce the measured queen-detection rows.
+  const double flops = 5.0 * ml::resnet18_flops(224);
+  const auto rpi = ml::rpi_cnn_compute();
+  const auto cloud = ml::cloud_cnn_compute();
+  ServiceSpec s;
+  s.name = "pollen_detection";
+  s.edge_time = rpi.time_for(flops);
+  s.edge_power = rpi.active_power;
+  s.cloud_time = cloud.time_for(flops);
+  s.cloud_power = cloud.active_power;
+  s.upload_bytes = 5.0 * net::catalog::entrance_image().size;
+  return s;
+}
+
+ServiceSpec bee_counting() {
+  // Bee traffic counting: a lighter per-image counter at 160x160 over the
+  // five entrance images.
+  const double flops = 5.0 * ml::resnet18_flops(160) * 0.5;
+  const auto rpi = ml::rpi_cnn_compute();
+  const auto cloud = ml::cloud_cnn_compute();
+  ServiceSpec s;
+  s.name = "bee_counting";
+  s.edge_time = rpi.time_for(flops);
+  s.edge_power = rpi.active_power;
+  s.cloud_time = cloud.time_for(flops);
+  s.cloud_power = cloud.active_power;
+  s.upload_bytes = 5.0 * net::catalog::entrance_image().size;
+  return s;
+}
+
+ServiceSpec swarm_prediction() {
+  // Swarm prediction over the day's sensor features: an SVM-scale model
+  // (a few hundred support vectors over ~200 features), run hourly.
+  const double flops = ml::svm_flops(400, 200);
+  const auto rpi = ml::rpi_cnn_compute();
+  const auto cloud = ml::cloud_cnn_compute();
+  ServiceSpec s;
+  s.name = "swarm_prediction";
+  // Feature extraction dominates the tiny model; bill one mel front end
+  // over a 10 s clip as the floor.
+  const double frontend = ml::mel_frontend_flops(10.0);
+  s.edge_time = rpi.time_for(flops + frontend);
+  s.edge_power = rpi.active_power;
+  s.cloud_time = cloud.time_for(flops + frontend);
+  s.cloud_power = cloud.active_power;
+  s.upload_bytes = net::catalog::sensor_record().size;
+  s.period_cycles = 12;  // hourly on 5-minute cycles
+  return s;
+}
+
+std::vector<ServiceSpec> catalog() {
+  return {queen_detection_svm(), queen_detection_cnn(), pollen_detection(),
+          bee_counting(), swarm_prediction()};
+}
+
+}  // namespace services
+}  // namespace beesim::hive

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace beesim::hive {
+
+/// One intelligent beehive service: what it computes, what data it needs,
+/// how often it runs, and what executing it costs at the edge and in the
+/// cloud. The paper's Section V names the family — "pollen detection,
+/// counting bees, and swarm prediction, among others" — and measures queen
+/// detection in detail; the other profiles are extrapolated from the same
+/// calibrated compute models (see services.cpp for each derivation).
+struct ServiceSpec {
+  std::string name;
+
+  /// Edge execution (Raspberry Pi 3B+), per invocation.
+  util::Seconds edge_time = 0.0;
+  util::Watts edge_power = 0.0;
+
+  /// Cloud execution (Table II server), per slot invocation.
+  util::Seconds cloud_time = 0.0;
+  util::Watts cloud_power = 0.0;
+
+  /// Data that must be uploaded when the service runs in the cloud.
+  util::Bytes upload_bytes = 0.0;
+
+  /// Runs every k-th wake-up cycle (1 = every cycle; a temperature-style
+  /// tracker might use 12 = hourly on 5-minute cycles).
+  int period_cycles = 1;
+
+  util::Joules edge_energy() const noexcept {
+    return edge_time * edge_power;
+  }
+  util::Joules cloud_energy() const noexcept {
+    return cloud_time * cloud_power;
+  }
+  /// Amortized per-cycle edge energy (edge execution every period_cycles).
+  util::Joules edge_energy_per_cycle() const;
+};
+
+/// The measured and extrapolated service catalog.
+namespace services {
+
+/// Queen detection, classical ML (Table I/II rows, measured).
+ServiceSpec queen_detection_svm();
+/// Queen detection, ResNet18 on 100x100 mel images (Table I/II, measured).
+ServiceSpec queen_detection_cnn();
+/// Pollen-bearing-bee detection on the five entrance images
+/// (CNN detector at 224x224 per image; extrapolated from the calibrated
+/// ResNet18 cost models).
+ServiceSpec pollen_detection();
+/// Bee traffic counting on the entrance images (lighter per-image model
+/// at 160x160; extrapolated).
+ServiceSpec bee_counting();
+/// Swarm prediction from the day's sensor time series (tiny model over
+/// features, hourly; extrapolated).
+ServiceSpec swarm_prediction();
+
+/// The full catalog above.
+std::vector<ServiceSpec> catalog();
+
+}  // namespace services
+
+}  // namespace beesim::hive

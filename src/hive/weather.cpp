@@ -1,0 +1,52 @@
+#include "hive/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace beesim::hive {
+
+WeatherModel::WeatherModel() : WeatherModel(Params{}) {}
+
+WeatherModel::WeatherModel(const Params& params)
+    : params_(params), rng_(params.seed) {
+  if (params_.daily_swing < 0.0)
+    throw std::invalid_argument("WeatherModel: negative swing");
+}
+
+void WeatherModel::advance_drift(Seconds t) {
+  if (t < drift_time_) {
+    rng_ = util::Rng(params_.seed);
+    drift_time_ = 0.0;
+    drift_ = 0.0;
+  }
+  // Hourly mean-reverting steps.
+  while (drift_time_ + util::kHour <= t) {
+    drift_time_ += util::kHour;
+    const double step_days = 1.0 / 24.0;
+    drift_ += -0.15 * drift_ * step_days +
+              rng_.normal(0.0, params_.drift_volatility *
+                                   std::sqrt(step_days));
+    drift_ = std::clamp(drift_, -8.0, 8.0);
+  }
+}
+
+Celsius WeatherModel::ambient_temp(Seconds t) {
+  if (t < 0.0) throw std::invalid_argument("WeatherModel: negative time");
+  advance_drift(t);
+  const Seconds time_of_day = std::fmod(t, util::kDay);
+  const double phase = 2.0 * std::numbers::pi *
+                       (time_of_day - params_.warmest_time) / util::kDay;
+  return params_.mean_temp + params_.daily_swing * std::cos(phase) + drift_;
+}
+
+double WeatherModel::humidity(Seconds t) {
+  const Celsius temp = ambient_temp(t);
+  const double h = params_.base_humidity +
+                   params_.humidity_per_degree *
+                       (temp - params_.mean_temp);
+  return std::clamp(h, 0.05, 1.0);
+}
+
+}  // namespace beesim::hive

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace beesim::hive {
+
+using util::Celsius;
+using util::Seconds;
+
+/// Ambient meteorological conditions at the apiary (the paper pairs its
+/// hive traces with weather-station data). Temperature follows a daily
+/// sinusoid around a seasonal mean with slow stochastic drift; relative
+/// humidity is anti-correlated with temperature.
+class WeatherModel {
+ public:
+  struct Params {
+    Celsius mean_temp = 16.0;      // early-season Lyon/Cachan
+    Celsius daily_swing = 7.0;     // half peak-to-peak
+    Seconds warmest_time = 15.0 * util::kHour;  // time of day of peak
+    double drift_volatility = 0.8;              // degC per sqrt(day)
+    double base_humidity = 0.65;   // relative humidity at mean temp
+    double humidity_per_degree = -0.02;
+    std::uint64_t seed = 77;
+  };
+
+  WeatherModel();  // defaults
+  explicit WeatherModel(const Params& params);
+
+  /// Ambient temperature at absolute time t (t = 0 is midnight day 0).
+  Celsius ambient_temp(Seconds t);
+
+  /// Relative humidity in [0.05, 1.0].
+  double humidity(Seconds t);
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  void advance_drift(Seconds t);
+
+  Params params_;
+  util::Rng rng_;
+  Seconds drift_time_ = 0.0;
+  double drift_ = 0.0;
+};
+
+}  // namespace beesim::hive

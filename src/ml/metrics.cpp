@@ -1,0 +1,60 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace beesim::ml {
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix confusion(const std::vector<bool>& predicted,
+                          const std::vector<bool>& actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("confusion: size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (actual[i]) {
+      ++(predicted[i] ? cm.true_positive : cm.false_negative);
+    } else {
+      ++(predicted[i] ? cm.false_positive : cm.true_negative);
+    }
+  }
+  return cm;
+}
+
+double accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& actual) {
+  if (predicted.size() != actual.size() || predicted.empty())
+    throw std::invalid_argument("accuracy: bad inputs");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == actual[i]) ++correct;
+  return static_cast<double>(correct) /
+         static_cast<double>(predicted.size());
+}
+
+}  // namespace beesim::ml

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace beesim::ml {
+
+/// 2x2 confusion counts for a binary classifier.
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const noexcept {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double accuracy() const noexcept;
+  double precision() const noexcept;
+  double recall() const noexcept;
+  double f1() const noexcept;
+};
+
+/// Builds the confusion matrix from predictions vs labels.
+ConfusionMatrix confusion(const std::vector<bool>& predicted,
+                          const std::vector<bool>& actual);
+
+/// Plain accuracy for multiclass index labels.
+double accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& actual);
+
+}  // namespace beesim::ml

@@ -1,0 +1,137 @@
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace beesim::ml {
+namespace {
+
+constexpr const char* kSvmMagic = "beesim-svm-v1";
+constexpr const char* kScalerMagic = "beesim-scaler-v1";
+constexpr const char* kCnnMagic = "beesim-queen-cnn-v1";
+
+void expect_magic(std::istream& in, const char* magic) {
+  in >> std::ws;  // models may be concatenated in one stream
+  std::string line;
+  if (!std::getline(in, line) || line != magic)
+    throw std::runtime_error(std::string("load: expected header '") +
+                             magic + "', got '" + line + "'");
+}
+
+std::size_t read_size(std::istream& in, const char* what) {
+  std::size_t value = 0;
+  if (!(in >> value))
+    throw std::runtime_error(std::string("load: missing ") + what);
+  return value;
+}
+
+double read_double(std::istream& in, const char* what) {
+  double value = 0.0;
+  if (!(in >> value))
+    throw std::runtime_error(std::string("load: missing ") + what);
+  return value;
+}
+
+}  // namespace
+
+void save_svm(const SvmClassifier& svm, std::ostream& out) {
+  if (!svm.trained())
+    throw std::logic_error("save_svm: classifier not trained");
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kSvmMagic << '\n';
+  out << svm.params().c << ' ' << svm.params().gamma << '\n';
+  const auto& sv = svm.support_vectors();
+  const auto& coeff = svm.dual_coefficients();
+  out << sv.size() << ' ' << sv.front().size() << ' ' << svm.bias() << '\n';
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    out << coeff[i];
+    for (double v : sv[i]) out << ' ' << v;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_svm: write failed");
+}
+
+SvmClassifier load_svm(std::istream& in) {
+  expect_magic(in, kSvmMagic);
+  SvmClassifier::Params params;
+  params.c = read_double(in, "C");
+  params.gamma = read_double(in, "gamma");
+  const std::size_t count = read_size(in, "support vector count");
+  const std::size_t dims = read_size(in, "dimension");
+  const double bias = read_double(in, "bias");
+  if (count == 0 || dims == 0)
+    throw std::runtime_error("load_svm: empty model");
+  std::vector<std::vector<double>> sv(count, std::vector<double>(dims));
+  std::vector<double> coeff(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    coeff[i] = read_double(in, "dual coefficient");
+    for (std::size_t j = 0; j < dims; ++j)
+      sv[i][j] = read_double(in, "support vector value");
+  }
+  return SvmClassifier::from_parts(params, std::move(sv), std::move(coeff),
+                                   bias);
+}
+
+void save_scaler(const StandardScaler& scaler, std::ostream& out) {
+  if (!scaler.fitted()) throw std::logic_error("save_scaler: not fitted");
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kScalerMagic << '\n';
+  const auto& mean = scaler.mean();
+  const auto& inv_std = scaler.inverse_stddev();
+  out << mean.size() << '\n';
+  for (std::size_t i = 0; i < mean.size(); ++i)
+    out << mean[i] << ' ' << inv_std[i] << '\n';
+  if (!out) throw std::runtime_error("save_scaler: write failed");
+}
+
+StandardScaler load_scaler(std::istream& in) {
+  expect_magic(in, kScalerMagic);
+  const std::size_t dims = read_size(in, "dimension");
+  if (dims == 0) throw std::runtime_error("load_scaler: empty model");
+  std::vector<double> mean(dims);
+  std::vector<double> inv_std(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    mean[i] = read_double(in, "mean");
+    inv_std[i] = read_double(in, "inverse stddev");
+  }
+  return StandardScaler::from_parts(std::move(mean), std::move(inv_std));
+}
+
+void save_queen_cnn(const Network& network, std::size_t base_channels,
+                    std::size_t input_side, std::ostream& out) {
+  out.precision(std::numeric_limits<float>::max_digits10);
+  out << kCnnMagic << '\n';
+  out << base_channels << ' ' << input_side << '\n';
+  const auto params = network.parameters();
+  out << params.size() << '\n';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out << params[i];
+    out << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  }
+  out << '\n';
+  if (!out) throw std::runtime_error("save_queen_cnn: write failed");
+}
+
+QueenCnnModel load_queen_cnn(std::istream& in) {
+  expect_magic(in, kCnnMagic);
+  QueenCnnModel model;
+  model.base_channels = read_size(in, "base channels");
+  model.input_side = read_size(in, "input side");
+  const std::size_t count = read_size(in, "parameter count");
+  std::vector<float> params(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> params[i]))
+      throw std::runtime_error("load_queen_cnn: truncated parameters");
+  }
+  // The RNG only seeds the initialization we immediately overwrite.
+  util::Rng rng(0);
+  model.network =
+      make_queen_cnn(rng, model.base_channels, model.input_side);
+  model.network.set_parameters(params);
+  return model;
+}
+
+}  // namespace beesim::ml

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/network.hpp"
+#include "ml/svm.hpp"
+
+namespace beesim::ml {
+
+/// Text serialization of trained models, so a queen detector can be
+/// trained once (on the cloud server, as in the paper) and deployed to
+/// edge devices. The format is line-oriented ASCII with full round-trip
+/// precision; versioned headers guard against format drift.
+
+/// Writes/reads a trained SVM (hyperparameters, bias, support vectors).
+void save_svm(const SvmClassifier& svm, std::ostream& out);
+SvmClassifier load_svm(std::istream& in);
+
+/// Writes/reads a fitted StandardScaler.
+void save_scaler(const StandardScaler& scaler, std::ostream& out);
+StandardScaler load_scaler(std::istream& in);
+
+/// Writes/reads a queen-detection CNN (architecture descriptor +
+/// flattened parameters). Only networks built by make_queen_cnn are
+/// supported; the descriptor records (base_channels, input_side).
+struct QueenCnnModel {
+  Network network;
+  std::size_t base_channels = 0;
+  std::size_t input_side = 0;
+};
+
+void save_queen_cnn(const Network& network, std::size_t base_channels,
+                    std::size_t input_side, std::ostream& out);
+QueenCnnModel load_queen_cnn(std::istream& in);
+
+}  // namespace beesim::ml

@@ -1,0 +1,212 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace beesim::ml {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("StandardScaler: no rows");
+  const std::size_t d = rows.front().size();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 0.0);
+  for (const auto& row : rows) {
+    if (row.size() != d)
+      throw std::invalid_argument("StandardScaler: ragged rows");
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  const auto n = static_cast<double>(rows.size());
+  for (std::size_t j = 0; j < d; ++j) mean_[j] /= n;
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : rows)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / n);
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& row) const {
+  if (row.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler: dimension mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+StandardScaler StandardScaler::from_parts(
+    std::vector<double> mean, std::vector<double> inverse_stddev) {
+  if (mean.empty() || mean.size() != inverse_stddev.size())
+    throw std::invalid_argument("StandardScaler::from_parts: bad state");
+  StandardScaler scaler;
+  scaler.mean_ = std::move(mean);
+  scaler.inv_std_ = std::move(inverse_stddev);
+  return scaler;
+}
+
+SvmClassifier::SvmClassifier() : SvmClassifier(Params{}) {}
+
+SvmClassifier SvmClassifier::from_parts(
+    const Params& params, std::vector<std::vector<double>> sv,
+    std::vector<double> dual_coefficients, double bias) {
+  if (sv.empty() || sv.size() != dual_coefficients.size())
+    throw std::invalid_argument("SvmClassifier::from_parts: bad state");
+  const std::size_t dims = sv.front().size();
+  for (const auto& row : sv)
+    if (row.size() != dims)
+      throw std::invalid_argument("SvmClassifier::from_parts: ragged SVs");
+  SvmClassifier svm(params);
+  svm.support_vectors_ = std::move(sv);
+  svm.sv_alpha_y_ = std::move(dual_coefficients);
+  svm.bias_ = bias;
+  return svm;
+}
+
+SvmClassifier::SvmClassifier(const Params& params) : params_(params) {
+  if (params_.c <= 0.0 || params_.gamma <= 0.0 || params_.tolerance <= 0.0)
+    throw std::invalid_argument("SvmClassifier: invalid params");
+}
+
+double SvmClassifier::kernel(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  double dist2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    dist2 += d * d;
+  }
+  return std::exp(-params_.gamma * dist2);
+}
+
+void SvmClassifier::fit(const std::vector<std::vector<double>>& x,
+                        const std::vector<bool>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("SvmClassifier::fit: bad training set");
+  const std::size_t n = x.size();
+  const std::size_t d = x.front().size();
+  for (const auto& row : x)
+    if (row.size() != d)
+      throw std::invalid_argument("SvmClassifier::fit: ragged rows");
+  bool has_pos = false;
+  bool has_neg = false;
+  std::vector<double> label(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    label[i] = y[i] ? 1.0 : -1.0;
+    (y[i] ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg)
+    throw std::invalid_argument("SvmClassifier::fit: one-class data");
+
+  // Precomputed kernel matrix: n is at most a few thousand here.
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      k[i * n + j] = k[j * n + i] = kernel(x[i], x[j]);
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  util::Rng rng(params_.seed);
+
+  auto decision_i = [&](std::size_t i) {
+    double s = b;
+    for (std::size_t j = 0; j < n; ++j)
+      if (alpha[j] > 0.0) s += alpha[j] * label[j] * k[j * n + i];
+    return s;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < params_.max_passes &&
+         iterations < params_.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = decision_i(i) - label[i];
+      const bool violates = (label[i] * ei < -params_.tolerance &&
+                             alpha[i] < params_.c) ||
+                            (label[i] * ei > params_.tolerance &&
+                             alpha[i] > 0.0);
+      if (!violates) continue;
+      std::size_t j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+      if (j >= i) ++j;
+      const double ej = decision_i(j) - label[j];
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo;
+      double hi;
+      if (label[i] != label[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(params_.c, params_.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - params_.c);
+        hi = std::min(params_.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta =
+          2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      if (eta >= 0.0) continue;
+      double aj = aj_old - label[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-7) continue;
+      const double ai = ai_old + label[i] * label[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+      const double b1 = b - ei - label[i] * (ai - ai_old) * k[i * n + i] -
+                        label[j] * (aj - aj_old) * k[i * n + j];
+      const double b2 = b - ej - label[i] * (ai - ai_old) * k[i * n + j] -
+                        label[j] * (aj - aj_old) * k[j * n + j];
+      if (ai > 0.0 && ai < params_.c)
+        b = b1;
+      else if (aj > 0.0 && aj < params_.c)
+        b = b2;
+      else
+        b = 0.5 * (b1 + b2);
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  support_vectors_.clear();
+  sv_alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      support_vectors_.push_back(x[i]);
+      sv_alpha_y_.push_back(alpha[i] * label[i]);
+    }
+  }
+  bias_ = b;
+  if (support_vectors_.empty())
+    throw std::runtime_error("SvmClassifier::fit: no support vectors");
+}
+
+double SvmClassifier::decision(const std::vector<double>& features) const {
+  if (!trained()) throw std::logic_error("SvmClassifier: not trained");
+  if (features.size() != support_vectors_.front().size())
+    throw std::invalid_argument("SvmClassifier: dimension mismatch");
+  double s = bias_;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i)
+    s += sv_alpha_y_[i] * kernel(support_vectors_[i], features);
+  return s;
+}
+
+bool SvmClassifier::predict(const std::vector<double>& features) const {
+  return decision(features) > 0.0;
+}
+
+}  // namespace beesim::ml

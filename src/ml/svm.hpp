@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace beesim::ml {
+
+/// Feature standardizer (zero mean, unit variance per dimension), the
+/// usual companion of an RBF SVM. Fitting on train data and applying to
+/// test data keeps the kernel width meaningful across feature scales.
+class StandardScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& rows) const;
+  bool fitted() const noexcept { return !mean_.empty(); }
+
+  const std::vector<double>& mean() const noexcept { return mean_; }
+  const std::vector<double>& inverse_stddev() const noexcept {
+    return inv_std_;
+  }
+  /// Rebuilds a fitted scaler from serialized state (ml/serialize.hpp).
+  static StandardScaler from_parts(std::vector<double> mean,
+                                   std::vector<double> inverse_stddev);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Binary C-SVM with an RBF kernel, trained with Platt's SMO (simplified
+/// variant with full working-set scan). Matches the paper's classical-ML
+/// option: RBF kernel, C = 20, gamma = 1e-5 (Section V).
+class SvmClassifier {
+ public:
+  struct Params {
+    double c = 20.0;       // regularization (paper Section V)
+    double gamma = 1e-5;   // RBF kernel coefficient (paper Section V)
+    double tolerance = 1e-3;
+    int max_passes = 8;    // SMO sweeps without alpha change before stop
+    int max_iterations = 500;  // SMO sweeps hard cap
+    std::uint64_t seed = 7;
+  };
+
+  SvmClassifier();  // paper defaults
+  explicit SvmClassifier(const Params& params);
+
+  /// Trains on rows of features with labels in {false, true}. Requires at
+  /// least one example of each class.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<bool>& y);
+
+  /// Signed decision value; positive means class `true`.
+  double decision(const std::vector<double>& features) const;
+  bool predict(const std::vector<double>& features) const;
+
+  bool trained() const noexcept { return !support_vectors_.empty(); }
+  std::size_t support_vector_count() const noexcept {
+    return support_vectors_.size();
+  }
+  const Params& params() const noexcept { return params_; }
+  const std::vector<std::vector<double>>& support_vectors() const noexcept {
+    return support_vectors_;
+  }
+  /// alpha_i * y_i per support vector.
+  const std::vector<double>& dual_coefficients() const noexcept {
+    return sv_alpha_y_;
+  }
+  double bias() const noexcept { return bias_; }
+  /// Rebuilds a trained classifier from serialized state
+  /// (ml/serialize.hpp).
+  static SvmClassifier from_parts(const Params& params,
+                                  std::vector<std::vector<double>> sv,
+                                  std::vector<double> dual_coefficients,
+                                  double bias);
+
+ private:
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  Params params_;
+  std::vector<std::vector<double>> support_vectors_;
+  std::vector<double> sv_alpha_y_;  // alpha_i * y_i per support vector
+  double bias_ = 0.0;
+};
+
+}  // namespace beesim::ml

@@ -1,0 +1,59 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+
+namespace beesim::ml {
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)) {
+  if (shape_.empty() || shape_.size() > 4)
+    throw std::invalid_argument("Tensor: 1-4 dimensions supported");
+  std::size_t total = 1;
+  for (std::size_t d : shape_) {
+    if (d == 0) throw std::invalid_argument("Tensor: zero dimension");
+    total *= d;
+  }
+  data_.assign(total, fill);
+}
+
+Tensor Tensor::zeros_like(const Tensor& other) {
+  return Tensor(other.shape_, 0.0f);
+}
+
+std::size_t Tensor::offset4(std::size_t n, std::size_t c, std::size_t h,
+                            std::size_t w) const {
+  if (shape_.size() != 4) throw std::logic_error("Tensor: not 4-D");
+  if (n >= shape_[0] || c >= shape_[1] || h >= shape_[2] || w >= shape_[3])
+    throw std::out_of_range("Tensor: 4-D index out of range");
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) {
+  return data_[offset4(n, c, h, w)];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  return data_[offset4(n, c, h, w)];
+}
+
+float& Tensor::at2(std::size_t r, std::size_t c) {
+  if (shape_.size() != 2) throw std::logic_error("Tensor: not 2-D");
+  if (r >= shape_[0] || c >= shape_[1])
+    throw std::out_of_range("Tensor: 2-D index out of range");
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at2(std::size_t r, std::size_t c) const {
+  if (shape_.size() != 2) throw std::logic_error("Tensor: not 2-D");
+  if (r >= shape_[0] || c >= shape_[1])
+    throw std::out_of_range("Tensor: 2-D index out of range");
+  return data_[r * shape_[1] + c];
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace beesim::ml

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace beesim::ml {
+
+/// Dense float tensor, row-major, up to 4 dimensions (N, C, H, W). The NN
+/// layers own their loop nests, so the tensor stays a plain data carrier
+/// with bounds-checked views for tests and unchecked flat access for hot
+/// paths.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other);
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t dims() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Checked 4-D access (n, c, h, w); tensor must be 4-D.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at4(std::size_t n, std::size_t c, std::size_t h,
+            std::size_t w) const;
+
+  /// Checked 2-D access (r, c); tensor must be 2-D.
+  float& at2(std::size_t r, std::size_t c);
+  float at2(std::size_t r, std::size_t c) const;
+
+  void fill(float value) noexcept;
+  bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::size_t offset4(std::size_t n, std::size_t c, std::size_t h,
+                      std::size_t w) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace beesim::ml

@@ -1,0 +1,52 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace beesim::net {
+namespace {
+
+constexpr double kBitsPerMegabit = 1e6;
+
+}  // namespace
+
+Link::Link() : Link(Params{}) {}
+
+Link::Link(const Params& params) : params_(params) {
+  if (params_.throughput_mean_mbps <= 0.0 ||
+      params_.throughput_floor_mbps <= 0.0 ||
+      params_.throughput_stddev_mbps < 0.0 || params_.setup_time < 0.0 ||
+      params_.latency < 0.0)
+    throw std::invalid_argument("Link: invalid params");
+}
+
+Seconds Link::transfer_time(Bytes bytes, util::Rng& rng) const {
+  if (bytes < 0.0) throw std::invalid_argument("Link: negative payload");
+  const double mbps = std::max(
+      params_.throughput_floor_mbps,
+      rng.normal(params_.throughput_mean_mbps,
+                 params_.throughput_stddev_mbps));
+  const double bits = bytes * 8.0;
+  return params_.setup_time + params_.latency +
+         bits / (mbps * kBitsPerMegabit);
+}
+
+Seconds Link::expected_transfer_time(Bytes bytes) const {
+  if (bytes < 0.0) throw std::invalid_argument("Link: negative payload");
+  const double bits = bytes * 8.0;
+  return params_.setup_time + params_.latency +
+         bits / (params_.throughput_mean_mbps * kBitsPerMegabit);
+}
+
+Link Link::wifi_80211n() { return Link(Params{}); }
+
+Link Link::wifi_far() {
+  Params p;
+  p.throughput_mean_mbps = 2.0;
+  p.throughput_stddev_mbps = 0.8;
+  p.throughput_floor_mbps = 0.2;
+  p.setup_time = 2.5;
+  return Link(p);
+}
+
+}  // namespace beesim::net

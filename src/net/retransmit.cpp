@@ -1,0 +1,70 @@
+#include "net/retransmit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace beesim::net {
+
+RetransmittingLink::RetransmittingLink(Link link, const Params& params)
+    : link_(link), params_(params) {
+  if (params_.chunk_size <= 0.0 || params_.base_loss < 0.0 ||
+      params_.base_loss >= 1.0 || params_.loss_per_concurrent < 0.0 ||
+      params_.max_attempts_per_chunk < 1)
+    throw std::invalid_argument("RetransmittingLink: invalid params");
+}
+
+double RetransmittingLink::chunk_loss(int concurrent_clients) const {
+  if (concurrent_clients < 1)
+    throw std::invalid_argument("RetransmittingLink: concurrent < 1");
+  const double extra =
+      params_.loss_per_concurrent *
+      static_cast<double>(concurrent_clients - 1);
+  return std::min(0.95, params_.base_loss + extra);
+}
+
+RetransmittingLink::TransferResult RetransmittingLink::transfer(
+    Bytes bytes, int concurrent_clients, util::Rng& rng) const {
+  if (bytes < 0.0)
+    throw std::invalid_argument("RetransmittingLink: negative payload");
+  const double loss = chunk_loss(concurrent_clients);
+  const auto chunks = static_cast<int>(
+      std::max(1.0, std::ceil(bytes / params_.chunk_size)));
+  // One throughput draw per transfer (slow fading), loss per chunk.
+  const Seconds base_chunk_time =
+      (link_.transfer_time(params_.chunk_size, rng) -
+       link_.params().setup_time - link_.params().latency);
+
+  TransferResult result;
+  result.chunks = chunks;
+  result.duration = link_.params().setup_time + link_.params().latency;
+  for (int c = 0; c < chunks; ++c) {
+    int attempts = 0;
+    for (;;) {
+      ++attempts;
+      result.duration += base_chunk_time;
+      if (!rng.chance(loss)) break;
+      ++result.retransmissions;
+      if (attempts >= params_.max_attempts_per_chunk) {
+        result.completed = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+Seconds RetransmittingLink::expected_stretch_per_client(Bytes bytes) const {
+  // Expected attempts per chunk = 1 / (1 - p); stretch per client is the
+  // derivative of total time in p times dp/dclient.
+  const double p1 = chunk_loss(1);
+  const double chunks = std::max(1.0, std::ceil(bytes / params_.chunk_size));
+  const Seconds chunk_time =
+      link_.expected_transfer_time(params_.chunk_size) -
+      link_.params().setup_time - link_.params().latency;
+  const double d_attempts_dp = 1.0 / ((1.0 - p1) * (1.0 - p1));
+  return chunks * chunk_time * d_attempts_dp *
+         params_.loss_per_concurrent;
+}
+
+}  // namespace beesim::net

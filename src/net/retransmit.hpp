@@ -1,0 +1,55 @@
+#pragma once
+
+#include "net/link.hpp"
+
+namespace beesim::net {
+
+/// Chunked transfer with per-chunk loss and retransmission — the
+/// micro-foundation of the paper's loss model B ("extra transfer seconds
+/// per client"): when many synchronized clients share the channel, the
+/// per-chunk loss probability rises and the expected retransmissions
+/// stretch every transfer.
+class RetransmittingLink {
+ public:
+  struct Params {
+    Bytes chunk_size = 16384.0;  // TCP-ish segment burst
+    /// Per-chunk loss probability when a single client transmits.
+    double base_loss = 0.01;
+    /// Additional loss per concurrent client sharing the slot (collision
+    /// pressure, AP queue overflow). At the deployed ~0.8 Mbps uplink
+    /// this founds a per-client stretch of the order the paper's loss
+    /// model B assumes (1.5 s/client for the full routine upload).
+    double loss_per_concurrent = 0.02;
+    /// Give up on a transfer after this many attempts for one chunk.
+    int max_attempts_per_chunk = 12;
+  };
+
+  RetransmittingLink(Link link, const Params& params);
+
+  struct TransferResult {
+    Seconds duration = 0.0;
+    int chunks = 0;
+    int retransmissions = 0;
+    bool completed = true;  // false when a chunk exhausted its attempts
+  };
+
+  /// Transfers `bytes` while `concurrent_clients` share the channel.
+  TransferResult transfer(Bytes bytes, int concurrent_clients,
+                          util::Rng& rng) const;
+
+  /// Expected stretch in seconds per additional concurrent client for a
+  /// transfer of `bytes` — the quantity the paper fixes at 1.5 s/client.
+  /// Derived analytically from the loss model (geometric retries).
+  Seconds expected_stretch_per_client(Bytes bytes) const;
+
+  const Params& params() const noexcept { return params_; }
+  const Link& link() const noexcept { return link_; }
+
+ private:
+  double chunk_loss(int concurrent_clients) const;
+
+  Link link_;
+  Params params_;
+};
+
+}  // namespace beesim::net

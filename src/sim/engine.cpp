@@ -1,0 +1,106 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace beesim::sim {
+
+EventId Engine::schedule_at(SimTime at, Callback fn) {
+  if (at < now_)
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  if (!fn) throw std::invalid_argument("Engine::schedule_at: null callback");
+  const EventId id = next_id_++;
+  queue_.push({at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback fn) {
+  if (delay < 0.0)
+    throw std::invalid_argument("Engine::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  return callbacks_.erase(id) != 0;
+}
+
+bool Engine::pop_next(Scheduled& out) {
+  while (!queue_.empty()) {
+    Scheduled top = queue_.top();
+    queue_.pop();
+    if (callbacks_.count(top.id) != 0) {
+      out = top;
+      return true;
+    }
+    // Tombstone from a cancel(); skip.
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime until) {
+  if (until < now_)
+    throw std::invalid_argument("Engine::run_until: horizon in the past");
+  Scheduled next{};
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!pop_next(next)) break;
+    if (next.at > until) {
+      // The popped event lies beyond the horizon; reinsert and stop.
+      queue_.push(next);
+      break;
+    }
+    auto it = callbacks_.find(next.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = next.at;
+    ++executed_;
+    fn(*this);
+  }
+  now_ = until;
+}
+
+void Engine::run() {
+  Scheduled next{};
+  while (pop_next(next)) {
+    auto it = callbacks_.find(next.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = next.at;
+    ++executed_;
+    fn(*this);
+  }
+}
+
+std::size_t Engine::pending() const noexcept { return callbacks_.size(); }
+
+PeriodicTask::PeriodicTask(Engine& engine, SimTime start, SimTime period,
+                           Callback fn)
+    : engine_(&engine), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0.0)
+    throw std::invalid_argument("PeriodicTask: non-positive period");
+  arm(engine, start);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (pending_ != 0) engine_->cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTask::set_period(SimTime period) {
+  if (period <= 0.0)
+    throw std::invalid_argument("PeriodicTask: non-positive period");
+  period_ = period;
+}
+
+void PeriodicTask::arm(Engine& engine, SimTime at) {
+  pending_ = engine.schedule_at(at, [this](Engine& eng) {
+    pending_ = 0;
+    fn_(eng, *this);
+    if (!stopped_) arm(eng, eng.now() + period_);
+  });
+}
+
+}  // namespace beesim::sim

@@ -1,0 +1,95 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace beesim::sim {
+
+void Series::append(SimTime t, double value) {
+  if (!times_.empty() && t < times_.back())
+    throw std::invalid_argument("Series::append: time went backwards in '" +
+                                name_ + "'");
+  // Collapse consecutive identical values at identical timestamps to keep
+  // long constant stretches cheap.
+  if (!times_.empty() && times_.back() == t) {
+    values_.back() = value;
+    return;
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double Series::sample_at(SimTime t) const {
+  if (times_.empty() || t < times_.front()) return 0.0;
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return values_[idx];
+}
+
+double Series::integrate(SimTime t0, SimTime t1) const {
+  if (t1 < t0) throw std::invalid_argument("Series::integrate: t1 < t0");
+  if (times_.empty()) return 0.0;
+  double acc = 0.0;
+  // Iterate over the hold segments overlapping [t0, t1].
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double seg_start = std::max(times_[i], t0);
+    const double seg_end =
+        std::min(i + 1 < times_.size() ? times_[i + 1] : t1, t1);
+    if (seg_end > seg_start) acc += values_[i] * (seg_end - seg_start);
+    if (i + 1 < times_.size() && times_[i + 1] >= t1) break;
+  }
+  return acc;
+}
+
+double Series::mean(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  return integrate(t0, t1) / (t1 - t0);
+}
+
+double Series::min_value() const {
+  if (values_.empty()) throw std::logic_error("Series::min_value: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Series::max_value() const {
+  if (values_.empty()) throw std::logic_error("Series::max_value: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+Series& TraceRecorder::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end())
+    it = series_.emplace(name, Series(name)).first;
+  return it->second;
+}
+
+const Series* TraceRecorder::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TraceRecorder::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, _] : series_) out.push_back(name);
+  return out;
+}
+
+void TraceRecorder::write_csv(std::ostream& out, SimTime t0, SimTime t1,
+                              SimTime dt) const {
+  if (dt <= 0.0)
+    throw std::invalid_argument("TraceRecorder::write_csv: dt <= 0");
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{"time_s"};
+  for (const auto& [name, _] : series_) header.push_back(name);
+  csv.header(header);
+  for (SimTime t = t0; t <= t1; t += dt) {
+    csv.field(t);
+    for (const auto& [_, s] : series_) csv.field(s.sample_at(t));
+    csv.end_row();
+  }
+}
+
+}  // namespace beesim::sim

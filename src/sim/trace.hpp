@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace beesim::sim {
+
+/// One named time series of (time, value) samples. Samples must be appended
+/// in non-decreasing time order (the engine guarantees this naturally).
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void append(SimTime t, double value);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+  const std::vector<double>& times() const noexcept { return times_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Value at time t using zero-order hold (value of the latest sample at
+  /// or before t); returns 0 before the first sample.
+  double sample_at(SimTime t) const;
+
+  /// Integral over [t0, t1] treating the series as zero-order hold. For a
+  /// power series this is the consumed energy in joules.
+  double integrate(SimTime t0, SimTime t1) const;
+
+  /// Time-weighted mean over [t0, t1] (integral / duration).
+  double mean(SimTime t0, SimTime t1) const;
+
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// Collection of named series produced by one simulation run; dumps to CSV
+/// on a shared resampled time grid for plotting.
+class TraceRecorder {
+ public:
+  /// Returns the series with this name, creating it on first use.
+  Series& series(const std::string& name);
+  const Series* find(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+  /// Writes all series resampled on [t0, t1] with step dt as one CSV table
+  /// (column per series, zero-order hold).
+  void write_csv(std::ostream& out, SimTime t0, SimTime t1,
+                 SimTime dt) const;
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace beesim::sim

@@ -1,0 +1,80 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace beesim::util {
+
+Config::Config(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("Config: expected key=value, got '" + arg +
+                                  "'");
+    }
+    set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+  consumed_[key] = false;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("Config: '" + key + "' is not a number: " +
+                                it->second);
+  return v;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0')
+    throw std::invalid_argument("Config: '" + key + "' is not an integer: " +
+                                it->second);
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Config: '" + key + "' is not a bool: " + v);
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, used] : consumed_)
+    if (!used) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace beesim::util {
+
+/// Tiny key=value configuration parsed from command-line arguments, used by
+/// every bench/example so figure parameters can be overridden without
+/// recompiling, e.g.:
+///
+///   ./fig7_crossover clients_max=2000 parallel=35 seed=7
+///
+/// Lookups record which keys were consumed so unknown arguments can be
+/// reported (a typo in a sweep parameter should not silently run the
+/// default experiment).
+class Config {
+ public:
+  Config() = default;
+  Config(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were provided but never read by any get_* call.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace beesim::util

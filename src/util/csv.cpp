@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace beesim::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& n : names) field(n);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  sep();
+  *out_ << csv_escape(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  sep();
+  *out_ << buf;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::size_t value) {
+  sep();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  sep();
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::sep() {
+  if (!at_row_start_) *out_ << ',';
+  at_row_start_ = false;
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace beesim::util {
+
+/// Minimal CSV emitter used by benches/examples to dump figure series for
+/// external plotting. Quotes fields containing separators; numbers are
+/// written with enough precision to round-trip.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& names);
+
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::size_t value);
+  CsvWriter& field(long long value);
+  /// Terminates the current record.
+  void end_row();
+
+ private:
+  void sep();
+
+  std::ostream* out_;
+  bool at_row_start_ = true;
+};
+
+/// Escapes a CSV field per RFC 4180 (quotes if it contains comma, quote or
+/// newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace beesim::util

@@ -1,0 +1,59 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace beesim::util {
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (!fn) throw std::invalid_argument("parallel_for: null function");
+  if (threads == 0) threads = default_thread_count();
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
+
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = n;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace beesim::util

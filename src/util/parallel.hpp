@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace beesim::util {
+
+/// Runs fn(0) ... fn(n-1) across worker threads and blocks until all
+/// complete. Used for the embarrassingly parallel outer loops of the
+/// workbench — Monte-Carlo placement samples, per-resolution classifier
+/// training, fleet sweeps — where each index owns its data and RNG
+/// stream, so results are bitwise identical to the serial order.
+///
+/// Exceptions thrown by fn are captured; the first one (lowest index) is
+/// rethrown on the calling thread after every worker has stopped.
+///
+/// `threads` = 0 picks the hardware concurrency (at least 1). With
+/// threads == 1 or n <= 1 the loop runs inline — no thread is spawned,
+/// which keeps small cases cheap and debuggable.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+/// The worker count parallel_for(…, 0) would use.
+unsigned default_thread_count();
+
+}  // namespace beesim::util

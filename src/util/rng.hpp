@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace beesim::util {
+
+/// Deterministic pseudo-random generator (xoshiro256** with splitmix64
+/// seeding). Every stochastic component in the library takes one of these
+/// explicitly so whole simulations replay bit-identically from a seed.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can drive standard
+/// distributions as well as the helpers below.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) noexcept;
+
+  /// Independent child stream; forked streams do not overlap in practice
+  /// because the child is re-seeded through splitmix64.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace beesim::util

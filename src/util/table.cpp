@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace beesim::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("AsciiTable: no headers");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size())
+    throw std::invalid_argument("AsciiTable: row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void AsciiTable::add_rule() { pending_rule_ = true; }
+
+std::string AsciiTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::ostringstream out;
+  out << hline() << line(headers_) << hline();
+  for (const auto& row : rows_) {
+    if (row.rule_before) out << hline();
+    out << line(row.cells);
+  }
+  out << hline();
+  return out.str();
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace beesim::util {
+
+/// ASCII table printer used by the bench harness to render the paper's
+/// tables (Table I / Table II rows) and figure series in a terminal.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Adds one row; the row may be shorter than the header (missing cells
+  /// render empty) but not longer.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row (e.g. before totals).
+  void add_rule();
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 1);
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace beesim::util

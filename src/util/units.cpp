@@ -1,0 +1,48 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace beesim::util {
+namespace {
+
+std::string format_scaled(double value, const char* unit, double step,
+                          const char* const* prefixes, int count) {
+  int idx = 0;
+  double v = value;
+  while (std::abs(v) >= step && idx + 1 < count) {
+    v /= step;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s%s", v, prefixes[idx], unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes bytes) {
+  static const char* const prefixes[] = {"", "K", "M", "G", "T"};
+  return format_scaled(bytes, "B", 1024.0, prefixes, 5);
+}
+
+std::string format_joules(Joules joules) {
+  static const char* const prefixes[] = {"", "k", "M", "G"};
+  return format_scaled(joules, "J", 1000.0, prefixes, 4);
+}
+
+std::string format_duration(Seconds seconds) {
+  char buf[64];
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  } else if (seconds < 2.0 * kHour) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / kMinute);
+  } else if (seconds < 2.0 * kDay) {
+    std::snprintf(buf, sizeof buf, "%.1f h", seconds / kHour);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f d", seconds / kDay);
+  }
+  return buf;
+}
+
+}  // namespace beesim::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+namespace beesim::util {
+
+// The library works in SI base units throughout: seconds, watts, joules,
+// bytes, hertz. These aliases exist to make signatures self-documenting;
+// they are intentionally plain doubles so the numerics stay frictionless.
+using Seconds = double;
+using Watts = double;
+using Joules = double;
+using Bytes = double;
+using Hertz = double;
+using Celsius = double;
+
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 86400.0;
+
+constexpr Joules watt_hours_to_joules(double wh) noexcept {
+  return wh * 3600.0;
+}
+constexpr double joules_to_watt_hours(Joules j) noexcept { return j / 3600.0; }
+
+/// Battery capacity quoted as mAh at a nominal voltage (the paper's power
+/// bank is 20000 mAh at 5 V) converted to joules.
+constexpr Joules mah_to_joules(double mah, double volts) noexcept {
+  return mah / 1000.0 * volts * 3600.0;
+}
+
+/// "1.5 KB", "3.2 MB", ... for logs and tables.
+std::string format_bytes(Bytes bytes);
+
+/// "12.3 J", "1.2 kJ", ...
+std::string format_joules(Joules joules);
+
+/// "90 s", "5.0 min", "2.0 h", ...
+std::string format_duration(Seconds seconds);
+
+}  // namespace beesim::util

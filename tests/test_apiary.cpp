@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "hive/apiary.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace hive = beesim::hive;
+namespace u = beesim::util;
+
+namespace {
+
+hive::Apiary::Config site_config(int hives, std::uint64_t seed) {
+  hive::Apiary::Config cfg;
+  cfg.hive_count = hives;
+  cfg.site_seed = seed;
+  cfg.hive.energy = hive::EnergyChainConfig::nominal(seed);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Apiary, BuildsRequestedHiveCount) {
+  beesim::sim::Engine engine;
+  hive::Apiary apiary(engine, site_config(4, 7), nullptr);
+  EXPECT_EQ(apiary.size(), 4u);
+  EXPECT_THROW(apiary.hive(4), std::out_of_range);
+}
+
+TEST(Apiary, RejectsEmptySite) {
+  beesim::sim::Engine engine;
+  EXPECT_THROW(hive::Apiary(engine, site_config(0, 7), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Apiary, HivesShareTheSkyButDifferInDetail) {
+  beesim::sim::Engine engine;
+  hive::Apiary apiary(engine, site_config(3, 11), nullptr);
+  engine.run_until(1.0 * u::kDay);
+  apiary.settle();
+  // Same irradiance realization: harvested energy identical across hives
+  // (same panel, same sky, load differences are tiny).
+  const double h0 = apiary.hive(0).energy_node().total_harvested();
+  const double h1 = apiary.hive(1).energy_node().total_harvested();
+  EXPECT_NEAR(h0, h1, h0 * 0.02);
+  // Different device jitter: consumed energy differs between hives.
+  const double c0 = apiary.hive(0).stats().consumed;
+  const double c1 = apiary.hive(1).stats().consumed;
+  EXPECT_NE(c0, c1);
+  EXPECT_NEAR(c0, c1, c0 * 0.05);  // but not by much
+}
+
+TEST(Apiary, SiteStatsAggregate) {
+  beesim::sim::Engine engine;
+  hive::Apiary apiary(engine, site_config(2, 21), nullptr);
+  engine.run_until(0.5 * u::kDay);
+  apiary.settle();
+  const auto site = apiary.site_stats();
+  const auto a = apiary.hive(0).stats();
+  const auto b = apiary.hive(1).stats();
+  EXPECT_EQ(site.wakeups_attempted,
+            a.wakeups_attempted + b.wakeups_attempted);
+  EXPECT_DOUBLE_EQ(site.consumed, a.consumed + b.consumed);
+  EXPECT_GT(site.completion_rate(), 0.9);
+  EXPECT_EQ(site.hives_with_outage, 0);
+}
+
+TEST(Apiary, DegradedSiteReportsOutages) {
+  beesim::sim::Engine engine;
+  hive::Apiary::Config cfg = site_config(2, 31);
+  cfg.hive.energy = hive::EnergyChainConfig::degraded(31);
+  hive::Apiary apiary(engine, cfg, nullptr);
+  engine.run_until(2.0 * u::kDay);
+  apiary.settle();
+  const auto site = apiary.site_stats();
+  EXPECT_EQ(site.hives_with_outage, 2);
+  EXPECT_GT(site.total_outage, 2.0 * u::kHour);
+  EXPECT_LT(site.completion_rate(), 0.95);
+}
+
+TEST(Apiary, PaperDeploymentHasTwoSitesFiveHives) {
+  beesim::sim::Engine engine;
+  hive::SmartBeehive::Config hive_template;
+  hive_template.energy = hive::EnergyChainConfig::nominal(1);
+  const auto sites = hive::paper_deployment(engine, hive_template);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0]->config().name, "Cachan");
+  EXPECT_EQ(sites[0]->size(), 2u);
+  EXPECT_EQ(sites[1]->config().name, "Lyon");
+  EXPECT_EQ(sites[1]->size(), 3u);
+  engine.run_until(6.0 * u::kHour);
+  for (const auto& site : sites) site->settle();
+  // Different sites see different weather realizations.
+  beesim::sim::TraceRecorder unused;
+  EXPECT_NE(sites[0]->hive(0).stats().consumed,
+            sites[1]->hive(0).stats().consumed);
+}
+
+TEST(Apiary, DeterministicForSiteSeed) {
+  auto run = [](std::uint64_t seed) {
+    beesim::sim::Engine engine;
+    hive::Apiary apiary(engine, site_config(2, seed), nullptr);
+    engine.run_until(0.5 * u::kDay);
+    apiary.settle();
+    return apiary.site_stats().consumed;
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "core/server.hpp"
+
+namespace core = beesim::core;
+using core::FillPolicy;
+using core::ServiceModel;
+
+namespace {
+
+core::ServerSpec cnn_server(int parallel = 10) {
+  return core::ServerSpec::cloud_server(ServiceModel::kCnn, parallel);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- ServerSpec
+
+TEST(ServerSpec, CnnGeometryMatchesPaper) {
+  const auto s = cnn_server(10);
+  EXPECT_NEAR(s.slot_duration(10), 16.0, 1e-9);  // 15 s receive + 1 s CNN
+  EXPECT_EQ(s.slots_per_cycle(), 18);
+  EXPECT_EQ(s.capacity(), 180);
+}
+
+TEST(ServerSpec, SvmGeometry) {
+  const auto s =
+      core::ServerSpec::cloud_server(ServiceModel::kSvm, 10);
+  EXPECT_NEAR(s.slot_duration(10), 15.1, 1e-9);
+  EXPECT_EQ(s.slots_per_cycle(), 19);
+  EXPECT_EQ(s.capacity(), 190);
+}
+
+TEST(ServerSpec, PaperSlotExampleOneMinuteSlotGivesFiveSlots) {
+  // Paper: "given a data transfer and a model execution's duration of
+  // 1 minute, a server can allow 5 time slots" in a 5-minute cycle.
+  core::ServerSpec s = cnn_server();
+  s.receive_time = 50.0;
+  s.process_time = 10.0;
+  EXPECT_EQ(s.slots_per_cycle(), 5);
+}
+
+TEST(ServerSpec, TransferStretchShrinksCapacity) {
+  auto s = cnn_server(10);
+  s.extra_transfer_per_client = 1.5;  // loss model B
+  EXPECT_NEAR(s.planning_slot_duration(), 31.0, 1e-9);
+  EXPECT_EQ(s.slots_per_cycle(), 9);
+  EXPECT_EQ(s.capacity(), 90);
+}
+
+TEST(ServerSpec, SlotEnergyScalesWithStretchedTransfer) {
+  auto s = cnn_server(10);
+  const double base = s.slot_active_energy(10);
+  s.extra_transfer_per_client = 1.5;
+  EXPECT_GT(s.slot_active_energy(10), base);
+  EXPECT_NEAR(s.slot_active_energy(0), base, 1e-9);  // no clients, no extra
+}
+
+TEST(ServerSpec, RejectsInvalidConfigs) {
+  EXPECT_THROW(core::ServerSpec::cloud_server(ServiceModel::kNone, 10),
+               std::invalid_argument);
+  EXPECT_THROW(core::ServerSpec::cloud_server(ServiceModel::kCnn, 0),
+               std::invalid_argument);
+  auto s = cnn_server();
+  s.receive_time = 400.0;  // slot longer than the cycle
+  EXPECT_THROW(s.slots_per_cycle(), std::logic_error);
+  EXPECT_THROW(s.slot_duration(-1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Allocator
+
+class AllocatorPolicies : public ::testing::TestWithParam<FillPolicy> {};
+
+/// Invariants that must hold for every policy and every fleet size:
+/// all clients placed, no slot over max_parallel, no empty servers.
+TEST_P(AllocatorPolicies, InvariantsHoldAcrossFleetSizes) {
+  const auto spec = cnn_server(10);
+  for (int n : {1, 5, 10, 11, 179, 180, 181, 360, 361, 999}) {
+    const auto alloc = core::allocate(n, spec, GetParam());
+    EXPECT_EQ(alloc.total_clients(), n) << "policy "
+                                        << core::to_string(GetParam())
+                                        << " n=" << n;
+    const int expected_servers = (n + spec.capacity() - 1) / spec.capacity();
+    EXPECT_EQ(alloc.servers_used(), expected_servers);
+    for (const auto& server : alloc.servers) {
+      EXPECT_GT(server.total(), 0) << "empty server allocated";
+      EXPECT_LE(static_cast<int>(server.slot_clients.size()),
+                spec.slots_per_cycle());
+      for (int k : server.slot_clients) {
+        EXPECT_GE(k, 0);
+        EXPECT_LE(k, spec.max_parallel);
+      }
+    }
+  }
+}
+
+TEST_P(AllocatorPolicies, ZeroClientsNeedNoServers) {
+  const auto alloc = core::allocate(0, cnn_server(), GetParam());
+  EXPECT_EQ(alloc.servers_used(), 0);
+  EXPECT_EQ(alloc.total_clients(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocatorPolicies,
+                         ::testing::Values(FillPolicy::kFillFirst,
+                                           FillPolicy::kBalanced,
+                                           FillPolicy::kRoundRobin));
+
+TEST(Allocator, FillFirstPacksSlotsToTheMax) {
+  const auto alloc =
+      core::allocate(25, cnn_server(10), FillPolicy::kFillFirst);
+  ASSERT_EQ(alloc.servers_used(), 1);
+  const auto& slots = alloc.servers.front().slot_clients;
+  ASSERT_GE(slots.size(), 3u);
+  EXPECT_EQ(slots[0], 10);
+  EXPECT_EQ(slots[1], 10);
+  EXPECT_EQ(slots[2], 5);
+}
+
+TEST(Allocator, BalancedSpreadsEvenly) {
+  const auto alloc =
+      core::allocate(36, cnn_server(10), FillPolicy::kBalanced);
+  ASSERT_EQ(alloc.servers_used(), 1);
+  const auto& slots = alloc.servers.front().slot_clients;
+  ASSERT_EQ(slots.size(), 18u);
+  for (int k : slots) EXPECT_EQ(k, 2);
+}
+
+TEST(Allocator, RoundRobinMatchesBalancedOccupancyWithinOne) {
+  const auto rr =
+      core::allocate(100, cnn_server(10), FillPolicy::kRoundRobin);
+  const auto bal =
+      core::allocate(100, cnn_server(10), FillPolicy::kBalanced);
+  ASSERT_EQ(rr.servers_used(), bal.servers_used());
+  for (std::size_t s = 0; s < rr.servers.size(); ++s) {
+    for (std::size_t i = 0; i < rr.servers[s].slot_clients.size(); ++i) {
+      EXPECT_NEAR(rr.servers[s].slot_clients[i],
+                  bal.servers[s].slot_clients[i], 1.0);
+    }
+  }
+}
+
+TEST(Allocator, FillFirstActiveSlotsAreMinimal) {
+  const auto alloc =
+      core::allocate(45, cnn_server(10), FillPolicy::kFillFirst);
+  EXPECT_EQ(alloc.servers.front().active_slots(), 5);  // ceil(45/10)
+}
+
+TEST(Allocator, ExactCapacityFitsOneServer) {
+  const auto spec = cnn_server(10);
+  const auto alloc =
+      core::allocate(spec.capacity(), spec, FillPolicy::kFillFirst);
+  EXPECT_EQ(alloc.servers_used(), 1);
+  const auto alloc2 =
+      core::allocate(spec.capacity() + 1, spec, FillPolicy::kFillFirst);
+  EXPECT_EQ(alloc2.servers_used(), 2);
+}
+
+TEST(Allocator, RejectsNegativeClients) {
+  EXPECT_THROW(core::allocate(-1, cnn_server(), FillPolicy::kFillFirst),
+               std::invalid_argument);
+}
+
+TEST(Allocator, PolicyNames) {
+  EXPECT_STREQ(core::to_string(FillPolicy::kFillFirst), "fill-first");
+  EXPECT_STREQ(core::to_string(FillPolicy::kBalanced), "balanced");
+  EXPECT_STREQ(core::to_string(FillPolicy::kRoundRobin), "round-robin");
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+
+namespace core = beesim::core;
+using core::PlacementAdvisor;
+using core::ServiceModel;
+
+namespace {
+
+PlacementAdvisor::Options options(int parallel,
+                                  core::LossConfig loss = {}) {
+  PlacementAdvisor::Options opt;
+  opt.service = ServiceModel::kCnn;
+  opt.max_parallel = parallel;
+  opt.loss = loss;
+  return opt;
+}
+
+}  // namespace
+
+// ----------------------------------------------- Fig 7a (10 clients / slot)
+
+TEST(Fig7a, EdgeOnlyAlwaysWinsAtTenParallel) {
+  // Paper Fig 7a: with 10 clients per slot the edge+cloud scenario never
+  // beats edge-only (the whole range is "blue").
+  PlacementAdvisor advisor(options(10));
+  EXPECT_FALSE(advisor.first_crossover(100, 2000).has_value());
+}
+
+TEST(Fig7a, EdgeOnlyBaselineIs367) {
+  PlacementAdvisor advisor(options(10));
+  EXPECT_NEAR(advisor.edge_only_per_client(), 367.5, 0.2);
+}
+
+// ----------------------------------------------- Fig 7b (35 clients / slot)
+
+TEST(Fig7b, CrossoverNear406Clients) {
+  // Paper: "406 clients are needed to make the edge+cloud scenario more
+  // energy-efficient". Our calibration lands within a few clients.
+  PlacementAdvisor advisor(options(35));
+  const auto crossover = advisor.first_crossover(100, 2000);
+  ASSERT_TRUE(crossover.has_value());
+  EXPECT_NEAR(*crossover, 406, 10);
+}
+
+TEST(Fig7b, MaxAdvantageNear630Clients) {
+  // Paper: maximum difference of 12.5 J at 630 clients, just before a new
+  // server is needed (capacity = 18 slots x 35 = 630).
+  PlacementAdvisor advisor(options(35));
+  const auto best = advisor.max_advantage(100, 2000);
+  EXPECT_EQ(best.clients, 630);
+  EXPECT_NEAR(best.advantage(), 12.5, 1.0);
+  EXPECT_EQ(advisor.simulator().effective_server().capacity(), 630);
+}
+
+TEST(Fig7b, AlwaysBetterFromAround803) {
+  // Paper: "from 803 clients, the edge+cloud scenario is more
+  // energy-efficient ... and remains this way".
+  PlacementAdvisor advisor(options(35));
+  const auto from = advisor.always_better_from(100, 4000);
+  ASSERT_TRUE(from.has_value());
+  EXPECT_NEAR(*from, 803, 20);
+}
+
+TEST(Fig7b, ComparisonRangeIsConsistent) {
+  PlacementAdvisor advisor(options(35));
+  const auto rows = advisor.compare_range({200, 630, 1500});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_FALSE(rows[0].edge_cloud_wins);  // below crossover
+  EXPECT_TRUE(rows[1].edge_cloud_wins);   // at the sweet spot
+  EXPECT_TRUE(rows[2].edge_cloud_wins);
+  for (const auto& row : rows)
+    EXPECT_EQ(row.edge_cloud_wins,
+              row.edge_cloud_per_client < row.edge_only_per_client);
+}
+
+// --------------------------------------------------- Capacity tipping point
+
+TEST(TippingPoint, TwentySixClientsPerSlot) {
+  // Paper: "26 clients are the tipping point when the edge+cloud scenario
+  // can become more energy efficient when used efficiently".
+  EXPECT_EQ(PlacementAdvisor::min_viable_parallel(ServiceModel::kCnn), 26);
+}
+
+TEST(TippingPoint, SvmTippingPointIsSimilar) {
+  // The SVM slot is slightly shorter (15.1 s vs 16 s): one more slot per
+  // cycle, so the tipping capacity is close but not identical.
+  const int svm = PlacementAdvisor::min_viable_parallel(ServiceModel::kSvm);
+  EXPECT_GE(svm, 22);
+  EXPECT_LE(svm, 30);
+}
+
+TEST(TippingPoint, BelowTippingNeverWins) {
+  PlacementAdvisor advisor(options(25));
+  EXPECT_FALSE(advisor.first_crossover(50, 3000).has_value());
+}
+
+TEST(TippingPoint, AtTippingEventuallyWins) {
+  PlacementAdvisor advisor(options(26));
+  EXPECT_TRUE(advisor.first_crossover(50, 3000).has_value());
+}
+
+// ---------------------------------------------------------- Fig 9 (losses)
+
+TEST(Fig9, LossesShrinkTheAdvantage) {
+  core::LossConfig loss;
+  loss.slot_saturation = true;
+  PlacementAdvisor lossy(options(35, loss));
+  PlacementAdvisor ideal(options(35));
+  // Paper Fig 9: with losses the 35-parallel setting gets "a little bit
+  // worse" than the no-loss equivalent.
+  const auto lossy_best = lossy.max_advantage(100, 2000);
+  const auto ideal_best = ideal.max_advantage(100, 2000);
+  EXPECT_LT(lossy_best.advantage(), ideal_best.advantage());
+}
+
+TEST(Fig9, BalancedAllocatorRestoresWinningIntervals) {
+  // Under the compounding saturation penalty, fill-first packs every slot
+  // to 35 and pays 1.1^5 on each — edge+cloud never wins. A balanced
+  // allocator keeps slots at/below the penalty threshold for mid-size
+  // fleets and recovers the paper's "intervals where the edge+cloud
+  // scenario is more energy-efficient" (the ablation DESIGN.md calls
+  // out; see EXPERIMENTS.md Fig 9 notes).
+  core::LossConfig loss;
+  loss.slot_saturation = true;
+  auto packed_opt = options(35, loss);
+  PlacementAdvisor packed(packed_opt);
+  auto balanced_opt = packed_opt;
+  balanced_opt.policy = core::FillPolicy::kBalanced;
+  PlacementAdvisor balanced(balanced_opt);
+  EXPECT_LE(packed.max_advantage(100, 2000).advantage(), 0.0);
+  const auto best = balanced.max_advantage(100, 2000);
+  EXPECT_GT(best.advantage(), 0.0);
+  // The sweet spot sits where slots are full to the penalty threshold:
+  // 18 slots x 30 clients = 540.
+  EXPECT_NEAR(best.clients, 540, 15);
+}
+
+TEST(Fig9, ThreeServersServe1600To1750WithLosses) {
+  // Paper: "it is safe to assign three servers when the number of clients
+  // is between 1600 and 1750" (35 parallel, losses on).
+  core::LossConfig loss;
+  loss.transfer_stretch = false;  // stretch at 35 parallel would not fit
+  loss.slot_saturation = true;
+  PlacementAdvisor advisor(options(35, loss));
+  for (int n : {1600, 1675, 1750}) {
+    const auto r = advisor.simulator().simulate_ideal_cycle(n);
+    EXPECT_EQ(r.servers_used, 3) << "n=" << n;
+  }
+}
+
+// ------------------------------------------------------------- Error paths
+
+TEST(Placement, RejectsBadInputs) {
+  PlacementAdvisor advisor(options(10));
+  EXPECT_THROW(advisor.compare(0), std::invalid_argument);
+  EXPECT_THROW(advisor.max_advantage(10, 5), std::invalid_argument);
+}
+
+TEST(Placement, DropoutIsIgnoredForDeterminism) {
+  core::LossConfig loss;
+  loss.client_dropout = true;
+  PlacementAdvisor advisor(options(35, loss));
+  const auto a = advisor.compare(500);
+  const auto b = advisor.compare(500);
+  EXPECT_DOUBLE_EQ(a.edge_cloud_per_client, b.edge_cloud_per_client);
+}

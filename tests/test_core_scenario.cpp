@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/scenario.hpp"
+#include "device/calibration.hpp"
+
+namespace core = beesim::core;
+namespace cal = beesim::device::cal;
+using core::Placement;
+using core::ServiceModel;
+
+// ------------------------------------------------- Table I (edge scenarios)
+
+TEST(TableOne, SvmTotalsMatchPaper) {
+  const auto t = core::build_scenario_table(Placement::kEdgeOnly,
+                                            ServiceModel::kSvm);
+  EXPECT_NEAR(t.edge_total(), 366.3, 0.15);
+  EXPECT_DOUBLE_EQ(t.cloud_total(), 0.0);
+  EXPECT_NEAR(t.time_total(), 300.0, 1e-9);
+}
+
+TEST(TableOne, CnnTotalsMatchPaper) {
+  const auto t = core::build_scenario_table(Placement::kEdgeOnly,
+                                            ServiceModel::kCnn);
+  EXPECT_NEAR(t.edge_total(), 367.5, 0.15);
+  EXPECT_NEAR(t.time_total(), 300.0, 1e-9);
+}
+
+TEST(TableOne, SvmRowsMatchPaper) {
+  const auto t = core::build_scenario_table(Placement::kEdgeOnly,
+                                            ServiceModel::kSvm);
+  ASSERT_EQ(t.rows.size(), 5u);
+  EXPECT_EQ(t.rows[0].edge_task, "Sleep");
+  EXPECT_NEAR(t.rows[0].edge_energy, 111.6, 0.1);   // 178.5 s asleep
+  EXPECT_NEAR(t.rows[0].time, 178.5, 1e-9);
+  EXPECT_NEAR(t.rows[1].edge_energy, 131.8, 1e-9);  // wake & collect
+  EXPECT_NEAR(t.rows[2].edge_energy, 98.9, 1e-9);   // SVM
+  EXPECT_NEAR(t.rows[3].edge_energy, 3.0, 1e-9);    // send results
+  EXPECT_NEAR(t.rows[4].edge_energy, 21.0, 1e-9);   // shutdown
+}
+
+TEST(TableOne, CnnSleepRowReflectsShorterInference) {
+  const auto t = core::build_scenario_table(Placement::kEdgeOnly,
+                                            ServiceModel::kCnn);
+  // Paper: CNN sleeps 187.0 s (116.9 J) because inference is faster.
+  EXPECT_NEAR(t.rows[0].time, 187.0, 1e-9);
+  EXPECT_NEAR(t.rows[0].edge_energy, 116.9, 0.1);
+  EXPECT_NEAR(t.rows[2].edge_energy, 94.8, 1e-9);
+}
+
+// ------------------------------------------- Table II (edge+cloud scenarios)
+
+TEST(TableTwo, SvmTotalsMatchPaper) {
+  const auto t = core::build_scenario_table(Placement::kEdgeCloud,
+                                            ServiceModel::kSvm);
+  EXPECT_NEAR(t.edge_total(), 322.0, 0.15);
+  EXPECT_NEAR(t.cloud_total(), 13744.3, 2.0);
+  EXPECT_NEAR(t.time_total(), 300.0, 1e-9);
+}
+
+TEST(TableTwo, CnnTotalsMatchPaper) {
+  const auto t = core::build_scenario_table(Placement::kEdgeCloud,
+                                            ServiceModel::kCnn);
+  EXPECT_NEAR(t.edge_total(), 322.0, 0.15);
+  EXPECT_NEAR(t.cloud_total(), 13806.0, 2.0);
+}
+
+TEST(TableTwo, RowsFollowPaperChronology) {
+  const auto t = core::build_scenario_table(Placement::kEdgeCloud,
+                                            ServiceModel::kSvm);
+  ASSERT_EQ(t.rows.size(), 5u);
+  EXPECT_EQ(t.rows[0].edge_task, "Sleep");
+  EXPECT_EQ(t.rows[0].cloud_task, "Idle");
+  EXPECT_NEAR(t.rows[0].time, 211.1, 1e-9);
+  EXPECT_NEAR(t.rows[0].cloud_energy, 9415.0, 5.0);
+  EXPECT_NEAR(t.rows[1].cloud_energy, 2854.0, 2.0);  // idle during collect
+  EXPECT_EQ(t.rows[2].edge_task, "Send audio");
+  EXPECT_NEAR(t.rows[2].edge_energy, 37.3, 1e-9);
+  EXPECT_NEAR(t.rows[2].cloud_energy, 1032.0, 1e-6);
+  // Split shutdown: first part overlaps the 0.1 s SVM execution.
+  EXPECT_EQ(t.rows[3].edge_task, "Shutdown");
+  EXPECT_NEAR(t.rows[3].time, 0.1, 1e-9);
+  EXPECT_NEAR(t.rows[3].edge_energy, 0.2, 0.02);
+  EXPECT_NEAR(t.rows[3].cloud_energy, 6.3, 1e-9);
+  EXPECT_NEAR(t.rows[4].time, 9.8, 1e-9);
+  EXPECT_NEAR(t.rows[4].cloud_energy, 437.0, 1.0);
+}
+
+TEST(TableTwo, CnnShutdownSplitIsOneSecond) {
+  const auto t = core::build_scenario_table(Placement::kEdgeCloud,
+                                            ServiceModel::kCnn);
+  EXPECT_NEAR(t.rows[3].time, 1.0, 1e-9);
+  EXPECT_NEAR(t.rows[3].cloud_energy, 108.0, 1e-9);
+  EXPECT_NEAR(t.rows[4].time, 8.9, 1e-9);
+  EXPECT_NEAR(t.rows[4].cloud_energy, 397.0, 1.0);
+}
+
+// --------------------------------------------------------- Scenario algebra
+
+TEST(Scenario, EdgeSavingMatchesPaperPercentages) {
+  // Paper: edge+cloud reduces the edge's energy by 12.1 % (SVM) and
+  // 12.4 % (CNN).
+  const double svm_edge = core::edge_cycle_energy(Placement::kEdgeOnly,
+                                                  ServiceModel::kSvm);
+  const double svm_cloud = core::edge_cycle_energy(Placement::kEdgeCloud,
+                                                   ServiceModel::kSvm);
+  EXPECT_NEAR((svm_edge - svm_cloud) / svm_edge, 0.121, 0.005);
+  const double cnn_edge = core::edge_cycle_energy(Placement::kEdgeOnly,
+                                                  ServiceModel::kCnn);
+  const double cnn_cloud = core::edge_cycle_energy(Placement::kEdgeCloud,
+                                                   ServiceModel::kCnn);
+  EXPECT_NEAR((cnn_edge - cnn_cloud) / cnn_edge, 0.124, 0.005);
+}
+
+TEST(Scenario, ModelChoiceBarelyMattersAtTheEdge) {
+  // Paper: "only 1.2 joules of difference" between SVM and CNN edge runs.
+  const double svm = core::edge_cycle_energy(Placement::kEdgeOnly,
+                                             ServiceModel::kSvm);
+  const double cnn = core::edge_cycle_energy(Placement::kEdgeOnly,
+                                             ServiceModel::kCnn);
+  EXPECT_NEAR(std::abs(svm - cnn), 1.2, 0.1);
+}
+
+TEST(Scenario, CloudModelDifferenceMatchesPaper) {
+  // Paper: 61.7 J difference between cloud totals (SVM vs CNN).
+  const auto svm = core::build_scenario_table(Placement::kEdgeCloud,
+                                              ServiceModel::kSvm);
+  const auto cnn = core::build_scenario_table(Placement::kEdgeCloud,
+                                              ServiceModel::kCnn);
+  EXPECT_NEAR(cnn.cloud_total() - svm.cloud_total(), 61.7, 1.5);
+}
+
+TEST(Scenario, LongerCycleOnlyAddsSleepAndIdle) {
+  const auto t5 = core::build_scenario_table(Placement::kEdgeCloud,
+                                             ServiceModel::kCnn, 300.0);
+  const auto t10 = core::build_scenario_table(Placement::kEdgeCloud,
+                                              ServiceModel::kCnn, 600.0);
+  EXPECT_NEAR(t10.edge_total() - t5.edge_total(),
+              300.0 * cal::kEdgeSleepPower, 1e-6);
+  EXPECT_NEAR(t10.cloud_total() - t5.cloud_total(),
+              300.0 * cal::kCloudIdlePower, 1e-6);
+}
+
+TEST(Scenario, RejectsInvalidInputs) {
+  EXPECT_THROW(core::build_scenario_table(Placement::kEdgeOnly,
+                                          ServiceModel::kNone),
+               std::invalid_argument);
+  EXPECT_THROW(core::build_scenario_table(Placement::kEdgeOnly,
+                                          ServiceModel::kSvm, 60.0),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- ClientSpec
+
+TEST(ClientSpec, EdgeCloudClientIs322Joules) {
+  const auto client = core::ClientSpec::smart_beehive(Placement::kEdgeCloud,
+                                                      ServiceModel::kCnn);
+  EXPECT_NEAR(client.cycle_energy(), 322.0, 0.15);
+  EXPECT_NEAR(client.active_time(), 88.9, 1e-9);
+  EXPECT_NEAR(client.sleep_cycle_energy(), 300.0 * cal::kEdgeSleepPower,
+              1e-9);
+}
+
+TEST(ClientSpec, CycleEnergyMatchesScenarioTable) {
+  for (auto placement : {Placement::kEdgeOnly, Placement::kEdgeCloud}) {
+    for (auto service : {ServiceModel::kSvm, ServiceModel::kCnn}) {
+      const auto client =
+          core::ClientSpec::smart_beehive(placement, service);
+      EXPECT_NEAR(client.cycle_energy(),
+                  core::edge_cycle_energy(placement, service), 1e-9)
+          << beesim::device::to_string(placement) << "/"
+          << beesim::device::to_string(service);
+    }
+  }
+}
+
+TEST(ClientSpec, RejectsActionsLongerThanPeriod) {
+  auto client = core::ClientSpec::smart_beehive(Placement::kEdgeOnly,
+                                                ServiceModel::kSvm);
+  client.period = 60.0;
+  EXPECT_THROW(client.cycle_energy(), std::logic_error);
+}

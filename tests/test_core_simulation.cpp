@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/des_check.hpp"
+#include "core/loss.hpp"
+#include "core/network_sim.hpp"
+
+namespace core = beesim::core;
+using core::FillPolicy;
+using core::LossConfig;
+using core::ServiceModel;
+
+// --------------------------------------------------------------- LossConfig
+
+TEST(LossConfig, FactoriesEnableOneMechanismEach) {
+  EXPECT_TRUE(LossConfig::only_saturation().slot_saturation);
+  EXPECT_FALSE(LossConfig::only_saturation().transfer_stretch);
+  EXPECT_TRUE(LossConfig::only_transfer_stretch().transfer_stretch);
+  EXPECT_TRUE(LossConfig::only_dropout().client_dropout);
+  const auto all = LossConfig::all();
+  EXPECT_TRUE(all.slot_saturation && all.transfer_stretch &&
+              all.client_dropout);
+}
+
+TEST(LossConfig, SaturationFactorCompounds) {
+  const auto loss = LossConfig::only_saturation();
+  // Threshold at max_parallel - 5 = 5; below it, no penalty.
+  EXPECT_DOUBLE_EQ(loss.saturation_factor(5, 10), 1.0);
+  EXPECT_DOUBLE_EQ(loss.saturation_factor(6, 10), 1.1);
+  EXPECT_NEAR(loss.saturation_factor(10, 10), std::pow(1.1, 5), 1e-12);
+  // Disabled -> always 1.
+  EXPECT_DOUBLE_EQ(LossConfig::none().saturation_factor(10, 10), 1.0);
+}
+
+TEST(LossConfig, DropoutDrawsNearTenPercent) {
+  const auto loss = LossConfig::only_dropout();
+  beesim::util::Rng rng(21);
+  double total = 0.0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) {
+    const int lost = loss.draw_lost_clients(200, rng);
+    EXPECT_GE(lost, 0);
+    EXPECT_LE(lost, 200);
+    total += lost;
+  }
+  EXPECT_NEAR(total / reps, 20.0, 0.5);  // 10 % of 200
+}
+
+TEST(LossConfig, DropoutDisabledDrawsZero) {
+  beesim::util::Rng rng(22);
+  EXPECT_EQ(LossConfig::none().draw_lost_clients(500, rng), 0);
+}
+
+// --------------------------------------------------- Fig 6 (ideal network)
+
+TEST(Fig6, EdgeCostPerClientIsFlat322) {
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  for (int n : {10, 50, 100, 250, 400}) {
+    const auto r = sim.simulate_ideal_cycle(n);
+    EXPECT_NEAR(r.edge_per_client(), 322.0, 0.2) << "n=" << n;
+  }
+}
+
+TEST(Fig6, ServerCostPerClientConvergesTo116) {
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  const int cap = sim.effective_server().capacity();
+  const auto full = sim.simulate_ideal_cycle(cap);
+  EXPECT_NEAR(full.cloud_per_client(), 116.0, 2.0);
+  // Best total per beehive: 438 J (paper Section VI.B).
+  EXPECT_NEAR(full.total_per_client(), 438.0, 2.5);
+}
+
+TEST(Fig6, ServerCostPerClientDecreasesTowardTheFloor) {
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  double prev = 1e18;
+  for (int n : {10, 40, 80, 120, 180}) {
+    const auto r = sim.simulate_ideal_cycle(n);
+    EXPECT_LE(r.cloud_per_client(), prev + 1e-9) << "n=" << n;
+    prev = r.cloud_per_client();
+  }
+}
+
+TEST(Fig6, ServerCountGrowsWithFleet) {
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  EXPECT_EQ(sim.simulate_ideal_cycle(10).servers_used, 1);
+  EXPECT_EQ(sim.simulate_ideal_cycle(180).servers_used, 1);
+  EXPECT_EQ(sim.simulate_ideal_cycle(181).servers_used, 2);
+  EXPECT_EQ(sim.simulate_ideal_cycle(400).servers_used, 3);
+}
+
+TEST(Fig6, SixteenPercentPremiumAtBestOperatingPoint) {
+  // Paper: the 438 J best edge+cloud cost is 16 % above edge-only.
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  const auto full =
+      sim.simulate_ideal_cycle(sim.effective_server().capacity());
+  const double edge_only = core::edge_cycle_energy(
+      core::Placement::kEdgeOnly, ServiceModel::kCnn);
+  const double premium =
+      (full.total_per_client() - edge_only) / full.total_per_client();
+  EXPECT_NEAR(premium, 0.16, 0.02);
+}
+
+// ------------------------------------------------------- Loss model A (Fig 8a)
+
+TEST(Fig8a, SaturationRaisesServerFloorTo186) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::only_saturation();
+  core::LargeScaleSimulator sim(fleet);
+  const int cap = sim.effective_server().capacity();
+  const auto full = sim.simulate_ideal_cycle(2 * cap);
+  // Paper: converges towards 186 J (vs 116 J without loss).
+  EXPECT_NEAR(full.cloud_per_client(), 186.0, 3.0);
+}
+
+TEST(Fig8a, BalancedPolicyAvoidsSaturationPenalty) {
+  // Ablation: spreading clients dodges the compounding slot penalty.
+  core::FleetParams packed = core::FleetParams::paper_default();
+  packed.loss = LossConfig::only_saturation();
+  core::FleetParams spread = packed;
+  spread.policy = FillPolicy::kBalanced;
+  const int n = 90;  // half a server: balanced puts 5/slot (no penalty)
+  const auto packed_r =
+      core::LargeScaleSimulator(packed).simulate_ideal_cycle(n);
+  const auto spread_r =
+      core::LargeScaleSimulator(spread).simulate_ideal_cycle(n);
+  EXPECT_LT(spread_r.cloud_energy, packed_r.cloud_energy * 0.9);
+}
+
+// ------------------------------------------------------- Loss model B (Fig 8b)
+
+TEST(Fig8b, TransferStretchNeedsMoreServers) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::only_transfer_stretch();
+  core::LargeScaleSimulator sim(fleet);
+  // Paper: for 350 clients, 4 servers with the duration penalty versus 2
+  // in the no-loss case.
+  EXPECT_EQ(sim.simulate_ideal_cycle(350).servers_used, 4);
+  core::LargeScaleSimulator ideal(core::FleetParams::paper_default());
+  EXPECT_EQ(ideal.simulate_ideal_cycle(350).servers_used, 2);
+}
+
+TEST(Fig8b, TransferStretchRaisesPerClientCost) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::only_transfer_stretch();
+  core::LargeScaleSimulator sim(fleet);
+  const auto full =
+      sim.simulate_ideal_cycle(sim.effective_server().capacity());
+  // Paper: minimum value around 212 J; our receive-scaling model lands a
+  // little above (see DESIGN.md) — the floor must exceed the loss-A floor.
+  EXPECT_GT(full.cloud_per_client(), 200.0);
+  EXPECT_LT(full.cloud_per_client(), 240.0);
+}
+
+// ------------------------------------------------------- Loss model C (Fig 8c)
+
+TEST(Fig8c, DropoutLowersMeasuredEnergyPerInitialClient) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::only_dropout();
+  core::LargeScaleSimulator sim(fleet);
+  beesim::util::Rng rng(33);
+  const auto lossy = sim.simulate_cycle(200, rng);
+  const auto ideal = sim.simulate_ideal_cycle(200);
+  EXPECT_GT(lossy.lost_clients, 5);
+  EXPECT_LT(lossy.edge_energy, ideal.edge_energy);
+  EXPECT_LE(lossy.servers_used, ideal.servers_used);
+}
+
+TEST(Fig8c, SurvivorsNeverNegative) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::only_dropout();
+  fleet.loss.dropout_mean_fraction = 0.9;  // extreme losses
+  core::LargeScaleSimulator sim(fleet);
+  beesim::util::Rng rng(34);
+  for (int i = 0; i < 100; ++i) {
+    const auto r = sim.simulate_cycle(10, rng);
+    EXPECT_GE(r.surviving_clients(), 0);
+    EXPECT_LE(r.lost_clients, 10);
+  }
+}
+
+// ----------------------------------------------------------- Sweep mechanics
+
+TEST(Sweep, DeterministicForSeed) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::all();
+  core::LargeScaleSimulator sim(fleet);
+  const auto counts = core::client_range(50, 350, 100);
+  const auto a = sim.sweep(counts, 7, 3);
+  const auto b = sim.sweep(counts, 7, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].edge_energy, b[i].edge_energy);
+    EXPECT_DOUBLE_EQ(a[i].cloud_energy, b[i].cloud_energy);
+  }
+}
+
+TEST(Sweep, ClientRangeHelper) {
+  EXPECT_EQ(core::client_range(10, 40, 10),
+            (std::vector<int>{10, 20, 30, 40}));
+  EXPECT_EQ(core::client_range(10, 45, 10),
+            (std::vector<int>{10, 20, 30, 40}));
+  EXPECT_THROW(core::client_range(10, 5, 1), std::invalid_argument);
+}
+
+TEST(Simulation, MismatchedPeriodsRejected) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.client.period = 600.0;
+  EXPECT_THROW(core::LargeScaleSimulator{fleet}, std::invalid_argument);
+}
+
+// --------------------------------- Analytic vs event-driven cross-validation
+
+class DesCrossCheck
+    : public ::testing::TestWithParam<std::tuple<ServiceModel, int>> {};
+
+TEST_P(DesCrossCheck, AnalyticModelMatchesEventDrivenReplay) {
+  const auto [service, clients] = GetParam();
+  const auto des = core::des_replay_cycle(service, clients, 10);
+  core::LargeScaleSimulator sim(
+      core::FleetParams::paper_default(service, 10));
+  const auto ana = sim.simulate_ideal_cycle(clients);
+  EXPECT_NEAR(des.edge_energy, ana.edge_energy, 0.5);
+  EXPECT_NEAR(des.cloud_energy, ana.cloud_energy, 0.5);
+  EXPECT_EQ(des.slots_used, ana.active_slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServicesAndSizes, DesCrossCheck,
+    ::testing::Combine(::testing::Values(ServiceModel::kSvm,
+                                         ServiceModel::kCnn),
+                       ::testing::Values(1, 10, 25, 60)));
+
+TEST(DesCrossCheck, RejectsOverCapacity) {
+  EXPECT_THROW(core::des_replay_cycle(ServiceModel::kCnn, 100000, 10),
+               std::invalid_argument);
+}

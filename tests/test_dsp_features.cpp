@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/features.hpp"
+#include "dsp/stft.hpp"
+#include "util/rng.hpp"
+
+namespace dsp = beesim::dsp;
+
+namespace {
+
+/// Power spectrogram of a pure tone at `freq` Hz.
+dsp::Matrix tone_power(double freq, double sample_rate = 22050.0,
+                       std::size_t samples = 8192) {
+  std::vector<double> x(samples);
+  for (std::size_t i = 0; i < samples; ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * freq *
+                    static_cast<double>(i) / sample_rate);
+  dsp::StftParams p;
+  p.n_fft = 2048;
+  p.hop = 512;
+  return dsp::stft_power(x, p);
+}
+
+/// Power spectrogram of white noise.
+dsp::Matrix noise_power(std::uint64_t seed = 4,
+                        std::size_t samples = 8192) {
+  beesim::util::Rng rng(seed);
+  std::vector<double> x(samples);
+  for (auto& v : x) v = rng.normal();
+  dsp::StftParams p;
+  p.n_fft = 2048;
+  p.hop = 512;
+  return dsp::stft_power(x, p);
+}
+
+double mean_of(const std::vector<double>& v, std::size_t skip = 2) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = skip; i + skip < v.size(); ++i) {
+    acc += v[i];
+    ++n;
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+TEST(SpectralFeatures, CentroidTracksToneFrequency) {
+  for (double freq : {440.0, 1000.0, 3000.0}) {
+    const auto centroid = dsp::spectral_centroid(tone_power(freq), 22050.0);
+    EXPECT_NEAR(mean_of(centroid), freq, freq * 0.05 + 30.0)
+        << "freq " << freq;
+  }
+}
+
+TEST(SpectralFeatures, CentroidOfNoiseIsBroadbandMidpointish) {
+  const auto centroid = dsp::spectral_centroid(noise_power(), 22050.0);
+  // White noise centroid sits near half of Nyquist (~5.5 kHz).
+  EXPECT_NEAR(mean_of(centroid), 22050.0 / 4.0, 800.0);
+}
+
+TEST(SpectralFeatures, BandwidthNarrowForTonesWideForNoise) {
+  const auto tone_bw =
+      dsp::spectral_bandwidth(tone_power(1000.0), 22050.0);
+  const auto noise_bw = dsp::spectral_bandwidth(noise_power(), 22050.0);
+  EXPECT_LT(mean_of(tone_bw), 500.0);
+  EXPECT_GT(mean_of(noise_bw), 2000.0);
+}
+
+TEST(SpectralFeatures, RolloffBoundsAndOrdering) {
+  const auto power = noise_power();
+  const auto r50 = dsp::spectral_rolloff(power, 22050.0, 0.5);
+  const auto r95 = dsp::spectral_rolloff(power, 22050.0, 0.95);
+  for (std::size_t f = 2; f + 2 < r50.size(); ++f) {
+    EXPECT_LE(r50[f], r95[f]);
+    EXPECT_LE(r95[f], 22050.0 / 2.0 + 1.0);
+  }
+  EXPECT_THROW(dsp::spectral_rolloff(power, 22050.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(SpectralFeatures, FlatnessSeparatesToneFromNoise) {
+  const auto tone_fl = dsp::spectral_flatness(tone_power(1000.0));
+  const auto noise_fl = dsp::spectral_flatness(noise_power());
+  EXPECT_LT(mean_of(tone_fl), 0.05);   // tonal -> near 0
+  EXPECT_GT(mean_of(noise_fl), 0.2);   // broadband -> much flatter
+  for (double v : noise_fl) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(SpectralFeatures, FluxZeroForStationaryTone) {
+  const auto flux = dsp::spectral_flux(tone_power(1000.0));
+  EXPECT_DOUBLE_EQ(flux.front(), 0.0);  // first frame has no predecessor
+  EXPECT_LT(mean_of(flux), 0.05);
+  const auto noise_flux = dsp::spectral_flux(noise_power());
+  EXPECT_GT(mean_of(noise_flux), mean_of(flux));
+}
+
+TEST(SpectralFeatures, SummarizeProducesMeanStdPairs) {
+  const auto out = dsp::summarize({{1.0, 3.0}, {2.0, 2.0}});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);  // mean of first series
+  EXPECT_DOUBLE_EQ(out[1], 1.0);  // population stddev
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+  EXPECT_THROW(dsp::summarize({{}}), std::invalid_argument);
+}
+
+TEST(SpectralFeatures, DescriptorHasTenValues) {
+  const auto d = dsp::spectral_descriptor(tone_power(500.0), 22050.0);
+  ASSERT_EQ(d.size(), 10u);
+  for (double v : d) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SpectralFeatures, RejectEmptyInput) {
+  dsp::Matrix empty;
+  EXPECT_THROW(dsp::spectral_centroid(empty, 22050.0),
+               std::invalid_argument);
+  EXPECT_THROW(dsp::spectral_flatness(empty), std::invalid_argument);
+  EXPECT_THROW(dsp::spectral_flux(empty), std::invalid_argument);
+}

@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/battery.hpp"
+#include "energy/harvest.hpp"
+#include "energy/meter.hpp"
+#include "energy/solar.hpp"
+#include "util/stats.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace e = beesim::energy;
+namespace u = beesim::util;
+
+// -------------------------------------------------------------- EnergyMeter
+
+TEST(EnergyMeter, IntegratesPiecewiseConstantPower) {
+  e::EnergyMeter m;
+  m.set_power(0.0, 2.0, "active");
+  m.set_power(10.0, 0.5, "sleep");
+  m.advance_to(30.0);
+  EXPECT_DOUBLE_EQ(m.total(), 2.0 * 10.0 + 0.5 * 20.0);
+  EXPECT_DOUBLE_EQ(m.in_state("active"), 20.0);
+  EXPECT_DOUBLE_EQ(m.in_state("sleep"), 10.0);
+  EXPECT_DOUBLE_EQ(m.time_in_state("sleep"), 20.0);
+}
+
+TEST(EnergyMeter, UnknownStateIsZero) {
+  e::EnergyMeter m;
+  EXPECT_DOUBLE_EQ(m.in_state("nope"), 0.0);
+}
+
+TEST(EnergyMeter, RejectsTimeGoingBackwards) {
+  e::EnergyMeter m;
+  m.set_power(10.0, 1.0, "a");
+  EXPECT_THROW(m.advance_to(5.0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, MirrorsIntoSeries) {
+  e::EnergyMeter m;
+  beesim::sim::Series s("p");
+  m.attach_series(&s);
+  m.set_power(0.0, 1.5, "a");
+  m.set_power(5.0, 0.0, "off");
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.sample_at(2.0), 1.5);
+}
+
+TEST(EnergyMeter, ResetTotalsKeepsLevel) {
+  e::EnergyMeter m;
+  m.set_power(0.0, 2.0, "a");
+  m.advance_to(10.0);
+  m.reset_totals();
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+  EXPECT_DOUBLE_EQ(m.current_power(), 2.0);
+  m.advance_to(15.0);
+  EXPECT_DOUBLE_EQ(m.total(), 10.0);
+}
+
+// ------------------------------------------------------------------ Battery
+
+TEST(Battery, DefaultsMatchDeployedPowerBank) {
+  e::Battery b;
+  EXPECT_DOUBLE_EQ(b.capacity(), u::mah_to_joules(20000.0, 5.0));
+}
+
+TEST(Battery, ChargeStoresWithEfficiency) {
+  e::Battery::Params p;
+  p.capacity = 1000.0;
+  p.initial_soc = 0.0;
+  p.cutoff_soc = 0.0;
+  p.charge_efficiency = 0.9;
+  e::Battery b(p);
+  const double drawn = b.charge(100.0);
+  EXPECT_DOUBLE_EQ(drawn, 100.0);
+  EXPECT_DOUBLE_EQ(b.level(), 90.0);
+}
+
+TEST(Battery, ChargeClampsAtCapacity) {
+  e::Battery::Params p;
+  p.capacity = 100.0;
+  p.initial_soc = 0.95;
+  p.charge_efficiency = 1.0;
+  e::Battery b(p);
+  const double drawn = b.charge(1000.0);
+  EXPECT_DOUBLE_EQ(drawn, 5.0);
+  EXPECT_DOUBLE_EQ(b.level(), 100.0);
+  EXPECT_DOUBLE_EQ(b.charge(1.0), 0.0);  // full battery accepts nothing
+}
+
+TEST(Battery, DischargeRespectsCutoff) {
+  e::Battery::Params p;
+  p.capacity = 100.0;
+  p.initial_soc = 0.5;
+  p.cutoff_soc = 0.1;
+  p.discharge_efficiency = 1.0;
+  e::Battery b(p);
+  EXPECT_DOUBLE_EQ(b.available(), 40.0);
+  const double got = b.discharge(1000.0);
+  EXPECT_DOUBLE_EQ(got, 40.0);
+  EXPECT_TRUE(b.cut_off());
+  EXPECT_DOUBLE_EQ(b.discharge(1.0), 0.0);
+}
+
+TEST(Battery, DischargeEfficiencyDrainsMoreThanDelivered) {
+  e::Battery::Params p;
+  p.capacity = 100.0;
+  p.initial_soc = 1.0;
+  p.cutoff_soc = 0.0;
+  p.discharge_efficiency = 0.8;
+  e::Battery b(p);
+  const double got = b.discharge(40.0);
+  EXPECT_DOUBLE_EQ(got, 40.0);
+  EXPECT_DOUBLE_EQ(b.level(), 100.0 - 40.0 / 0.8);
+}
+
+TEST(Battery, RejectsInvalidParams) {
+  e::Battery::Params p;
+  p.capacity = -1.0;
+  EXPECT_THROW(e::Battery{p}, std::invalid_argument);
+  p = {};
+  p.charge_efficiency = 1.5;
+  EXPECT_THROW(e::Battery{p}, std::invalid_argument);
+  p = {};
+  p.initial_soc = 2.0;
+  EXPECT_THROW(e::Battery{p}, std::invalid_argument);
+}
+
+TEST(Battery, RejectsNegativeAmounts) {
+  e::Battery b;
+  EXPECT_THROW(b.charge(-1.0), std::invalid_argument);
+  EXPECT_THROW(b.discharge(-1.0), std::invalid_argument);
+}
+
+/// Property: round-tripping energy never creates energy.
+TEST(BatteryProperty, RoundTripNeverGains) {
+  e::Battery::Params p;
+  p.capacity = 500.0;
+  p.initial_soc = 0.5;
+  p.cutoff_soc = 0.0;
+  e::Battery b(p);
+  beesim::util::Rng rng(3);
+  double net_in = 0.0;
+  double net_out = 0.0;
+  const double start_level = b.level();
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.chance(0.5)) {
+      const double offered = rng.uniform(0.0, 20.0);
+      net_in += b.charge(offered);
+    } else {
+      net_out += b.discharge(rng.uniform(0.0, 20.0));
+    }
+    EXPECT_GE(b.level(), 0.0);
+    EXPECT_LE(b.level(), p.capacity + 1e-9);
+  }
+  // Delivered energy can never exceed what went in plus the initial store.
+  EXPECT_LE(net_out, net_in + start_level + 1e-6);
+}
+
+// --------------------------------------------------------------- Irradiance
+
+TEST(Irradiance, ZeroAtNightPositiveAtNoon) {
+  e::IrradianceModel model;
+  EXPECT_DOUBLE_EQ(model.at(0.0), 0.0);                     // midnight
+  EXPECT_GT(model.at(13.0 * u::kHour), 0.1);                // early afternoon
+  EXPECT_DOUBLE_EQ(model.at(23.0 * u::kHour), 0.0);         // late night
+  EXPECT_TRUE(model.daylight(13.0 * u::kHour));
+  EXPECT_FALSE(model.daylight(2.0 * u::kHour));
+}
+
+TEST(Irradiance, BoundedToUnitInterval) {
+  e::IrradianceModel model;
+  for (double t = 0.0; t < 3.0 * u::kDay; t += 600.0) {
+    const double irr = model.at(t);
+    EXPECT_GE(irr, 0.0);
+    EXPECT_LE(irr, 1.0);
+  }
+}
+
+TEST(Irradiance, DeterministicForSeed) {
+  e::IrradianceModel::Params p;
+  p.seed = 5;
+  e::IrradianceModel a(p);
+  e::IrradianceModel b(p);
+  for (double t = 0.0; t < u::kDay; t += 900.0)
+    EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+}
+
+TEST(Irradiance, RewindReplaysDeterministically) {
+  e::IrradianceModel model;
+  const double v1 = model.at(12.0 * u::kHour);
+  model.at(20.0 * u::kHour);
+  const double v2 = model.at(12.0 * u::kHour);  // rewind
+  EXPECT_DOUBLE_EQ(v1, v2);
+}
+
+TEST(Irradiance, RejectsInvalidParams) {
+  e::IrradianceModel::Params p;
+  p.sunrise = 22.0 * u::kHour;
+  p.sunset = 6.0 * u::kHour;
+  EXPECT_THROW(e::IrradianceModel{p}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------- SolarPanel
+
+TEST(SolarPanel, ScalesWithIrradiance) {
+  e::SolarPanel panel;
+  EXPECT_DOUBLE_EQ(panel.output(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(panel.output(1.0), 30.0 * 0.85);
+  EXPECT_NEAR(panel.output(0.5), 30.0 * 0.85 * 0.5, 1e-12);
+}
+
+TEST(SolarPanel, LowLightCutoffModelsDuskCollapse) {
+  e::SolarPanel panel;
+  EXPECT_DOUBLE_EQ(panel.output(0.02), 0.0);  // below the 4 % knee
+  EXPECT_GT(panel.output(0.05), 0.0);
+}
+
+// ------------------------------------------------------------ DcDcConverter
+
+TEST(DcDcConverter, EfficiencyRisesWithLoad) {
+  e::DcDcConverter conv;
+  const double low = conv.efficiency(0.2);
+  const double mid = conv.efficiency(5.0);
+  const double high = conv.efficiency(14.0);
+  EXPECT_LT(low, mid);
+  EXPECT_LE(mid, high + 0.02);
+  EXPECT_LE(high, conv.params().peak_efficiency);
+}
+
+TEST(DcDcConverter, OvercurrentShutsDown) {
+  e::DcDcConverter conv;
+  EXPECT_DOUBLE_EQ(conv.efficiency(16.0), 0.0);
+  EXPECT_TRUE(std::isinf(conv.input_for(16.0)));
+}
+
+TEST(DcDcConverter, InputExceedsOutputByLosses) {
+  e::DcDcConverter conv;
+  const double in = conv.input_for(5.0);
+  EXPECT_GT(in, 5.0);
+  EXPECT_NEAR(in * conv.efficiency(5.0), 5.0, 1e-9);
+}
+
+// -------------------------------------------------------------- HarvestNode
+
+namespace {
+
+e::HarvestNode make_node(double initial_soc, std::uint64_t seed = 1) {
+  e::Battery::Params bp;
+  bp.capacity = 10000.0;
+  bp.initial_soc = initial_soc;
+  bp.cutoff_soc = 0.05;
+  e::IrradianceModel::Params ip;
+  ip.seed = seed;
+  return e::HarvestNode(e::SolarPanel(), e::DcDcConverter(),
+                        e::Battery(bp), e::IrradianceModel(ip));
+}
+
+}  // namespace
+
+TEST(HarvestNode, SolarServesLoadAtNoon) {
+  auto node = make_node(0.5);
+  const auto r = node.step(12.0 * u::kHour, 60.0, 2.0);
+  EXPECT_FALSE(r.brownout);
+  EXPECT_DOUBLE_EQ(r.delivered, 2.0 * 60.0);
+  EXPECT_GT(r.solar_in, r.delivered);  // surplus charged the battery
+  EXPECT_GT(r.stored, 0.0);
+}
+
+TEST(HarvestNode, BatteryCoversNightLoad) {
+  auto node = make_node(0.5);
+  const double before = node.battery().level();
+  const auto r = node.step(1.0 * u::kHour, 60.0, 2.0);  // night
+  EXPECT_FALSE(r.brownout);
+  EXPECT_DOUBLE_EQ(r.solar_in, 0.0);
+  EXPECT_LT(node.battery().level(), before);
+}
+
+TEST(HarvestNode, BrownoutWhenBatteryEmptyAtNight) {
+  auto node = make_node(0.05);  // at the cutoff already
+  const auto r = node.step(1.0 * u::kHour, 60.0, 2.0);
+  EXPECT_TRUE(r.brownout);
+  EXPECT_GT(r.shortfall, 0.0);
+  EXPECT_FALSE(node.can_serve(1.0 * u::kHour, 2.0));
+}
+
+TEST(HarvestNode, CanServeFromSunEvenWithDeadBattery) {
+  auto node = make_node(0.05);
+  EXPECT_TRUE(node.can_serve(12.5 * u::kHour, 2.0));
+}
+
+TEST(HarvestNode, CountersAccumulate) {
+  auto node = make_node(0.5);
+  for (int i = 0; i < 10; ++i)
+    node.step(12.0 * u::kHour + i * 60.0, 60.0, 1.0);
+  EXPECT_GT(node.total_harvested(), 0.0);
+  EXPECT_DOUBLE_EQ(node.total_delivered(), 600.0);
+  EXPECT_DOUBLE_EQ(node.total_shortfall(), 0.0);
+}
+
+TEST(HarvestNode, RejectsBadStep) {
+  auto node = make_node(0.5);
+  EXPECT_THROW(node.step(0.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(node.step(0.0, 1.0, -1.0), std::invalid_argument);
+}
+
+/// Property: over any step, delivered <= requested and energy is conserved
+/// (solar_in + battery_drain = delivered + battery_store, up to losses).
+TEST(HarvestNodeProperty, EnergyAccountingIsConsistent) {
+  auto node = make_node(0.3, 17);
+  beesim::util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 2.0 * u::kDay);
+    const double load = rng.uniform(0.0, 5.0);
+    const double level_before = node.battery().level();
+    const auto r = node.step(t, 60.0, load);
+    EXPECT_LE(r.delivered, load * 60.0 + 1e-9);
+    EXPECT_GE(r.delivered, 0.0);
+    EXPECT_DOUBLE_EQ(r.shortfall, load * 60.0 - r.delivered);
+    // Battery level change matches reported store.
+    EXPECT_NEAR(node.battery().level() - level_before, r.stored, 1e-9);
+    // No energy from nowhere: delivered <= solar + battery draw.
+    const double battery_out = r.stored < 0.0 ? -r.stored : 0.0;
+    EXPECT_LE(r.delivered, r.solar_in + battery_out + 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ CurrentSensor
+
+TEST(CurrentSensor, ClampsAtFullScale) {
+  e::CurrentSensor sensor;
+  EXPECT_LE(sensor.measure_current(100.0), 5.0 + 1e-9);
+  EXPECT_GE(sensor.measure_current(-100.0), -5.0 - 1e-9);
+}
+
+TEST(CurrentSensor, QuantizesToAdcSteps) {
+  e::CurrentSensor::Params p;
+  p.noise_amps = 0.0;
+  e::CurrentSensor sensor(p);
+  const double lsb = 2.0 * 5.0 / 4096.0;
+  const double measured = sensor.measure_current(1.0);
+  const double steps = measured / lsb;
+  EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  EXPECT_NEAR(measured, 1.0, lsb);
+}
+
+TEST(CurrentSensor, PowerMeasurementTracksTruth) {
+  e::CurrentSensor sensor;
+  beesim::util::RunningStats err;
+  for (int i = 0; i < 200; ++i)
+    err.add(sensor.measure_power(2.14) - 2.14);
+  EXPECT_NEAR(err.mean(), 0.0, 0.05);
+}
+
+TEST(CurrentSensor, RejectsInvalidParams) {
+  e::CurrentSensor::Params p;
+  p.adc_bits = 0;
+  EXPECT_THROW(e::CurrentSensor{p}, std::invalid_argument);
+}
+
+TEST(Irradiance, SeasonalPresetsAreOrdered) {
+  e::IrradianceModel summer{e::IrradianceModel::Params::summer(5)};
+  e::IrradianceModel equinox{e::IrradianceModel::Params::equinox(5)};
+  e::IrradianceModel winter{e::IrradianceModel::Params::winter(5)};
+  // Daylight windows shrink toward winter.
+  EXPECT_TRUE(summer.daylight(7.5 * u::kHour));
+  EXPECT_FALSE(winter.daylight(7.5 * u::kHour));
+  EXPECT_TRUE(winter.daylight(12.0 * u::kHour));
+  // Daily harvestable energy is strictly ordered summer > equinox > winter.
+  auto daily_integral = [](e::IrradianceModel& model) {
+    double acc = 0.0;
+    for (double t = 0.0; t < u::kDay; t += 600.0) acc += model.at(t);
+    return acc;
+  };
+  const double s = daily_integral(summer);
+  const double q = daily_integral(equinox);
+  const double w = daily_integral(winter);
+  EXPECT_GT(s, q * 1.3);
+  EXPECT_GT(q, w * 1.3);
+}
+
+TEST(Irradiance, PeakScaleBoundsOutput) {
+  auto p = e::IrradianceModel::Params::winter(9);
+  e::IrradianceModel model{p};
+  for (double t = 0.0; t < u::kDay; t += 900.0)
+    EXPECT_LE(model.at(t), p.peak_scale + 1e-12);
+}

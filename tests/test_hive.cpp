@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "hive/beehive.hpp"
+#include "hive/colony.hpp"
+#include "hive/sensors.hpp"
+#include "hive/weather.hpp"
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace hive = beesim::hive;
+namespace u = beesim::util;
+
+// ------------------------------------------------------------------ Weather
+
+TEST(Weather, DailyCycleWarmestMidAfternoon) {
+  hive::WeatherModel w;
+  const double noonish = w.ambient_temp(15.0 * u::kHour);
+  const double night = w.ambient_temp(3.0 * u::kHour);
+  EXPECT_GT(noonish, night + 5.0);
+}
+
+TEST(Weather, HumidityAnticorrelatedWithTemp) {
+  hive::WeatherModel w;
+  const double warm_hum = w.humidity(15.0 * u::kHour);
+  const double cold_hum = w.humidity(3.0 * u::kHour);
+  EXPECT_GT(cold_hum, warm_hum);
+  EXPECT_GE(warm_hum, 0.05);
+  EXPECT_LE(cold_hum, 1.0);
+}
+
+TEST(Weather, DeterministicForSeed) {
+  hive::WeatherModel::Params p;
+  p.seed = 3;
+  hive::WeatherModel a(p);
+  hive::WeatherModel b(p);
+  for (double t = 0.0; t < 2.0 * u::kDay; t += u::kHour)
+    EXPECT_DOUBLE_EQ(a.ambient_temp(t), b.ambient_temp(t));
+}
+
+TEST(Weather, DriftStaysBounded) {
+  hive::WeatherModel w;
+  u::RunningStats s;
+  for (double t = 0.0; t < 30.0 * u::kDay; t += u::kHour)
+    s.add(w.ambient_temp(t));
+  // Within mean +- (swing + drift clamp) at all times.
+  EXPECT_GT(s.min(), 16.0 - 7.0 - 8.5);
+  EXPECT_LT(s.max(), 16.0 + 7.0 + 8.5);
+}
+
+// ------------------------------------------------------------------- Colony
+
+TEST(Colony, OccupiedHiveRegulatesNearBroodSetpoint) {
+  hive::ColonyModel colony;
+  const double t = colony.hive_temp(10.0);
+  EXPECT_GT(t, 30.0);
+  EXPECT_LT(t, 35.5);
+}
+
+TEST(Colony, EmptyHiveTracksAmbient) {
+  hive::ColonyModel::Params p;
+  p.present = false;
+  hive::ColonyModel colony(p);
+  // Fig 2a: "abnormally low inside temperature" before introduction.
+  EXPECT_NEAR(colony.hive_temp(8.0), 8.0, 3.0);
+  EXPECT_LT(colony.hive_temp(8.0), 15.0);
+}
+
+TEST(Colony, HumidityOffsetOnlyWhenOccupied) {
+  hive::ColonyModel occupied;
+  hive::ColonyModel::Params p;
+  p.present = false;
+  hive::ColonyModel empty(p);
+  EXPECT_GT(occupied.hive_humidity(0.5), empty.hive_humidity(0.5));
+}
+
+TEST(Colony, ActivityPeaksWarmMidday) {
+  hive::ColonyModel colony;
+  const double midday = colony.activity(13.0 * u::kHour, 22.0);
+  const double night = colony.activity(2.0 * u::kHour, 22.0);
+  const double cold = colony.activity(13.0 * u::kHour, 5.0);
+  EXPECT_GT(midday, 0.7);
+  EXPECT_LE(night, 0.1);
+  EXPECT_LE(cold, 0.1);
+}
+
+TEST(Colony, AbsentColonyIsSilent) {
+  hive::ColonyModel::Params p;
+  p.present = false;
+  hive::ColonyModel colony(p);
+  EXPECT_DOUBLE_EQ(colony.activity(13.0 * u::kHour, 25.0), 0.0);
+}
+
+TEST(Colony, StateTogglesPropagate) {
+  hive::ColonyModel colony;
+  EXPECT_TRUE(colony.present());
+  colony.set_present(false);
+  EXPECT_FALSE(colony.present());
+  colony.set_queenright(false);
+  EXPECT_FALSE(colony.queenright());
+}
+
+// ------------------------------------------------------------------ Sensors
+
+TEST(Sensors, Sht31NoiseIsSmall) {
+  hive::Sht31Sensor sensor(1);
+  u::RunningStats terr;
+  for (int i = 0; i < 500; ++i) {
+    const auto r = sensor.read(35.0, 0.6);
+    terr.add(r.temperature - 35.0);
+    EXPECT_GE(r.humidity, 0.0);
+    EXPECT_LE(r.humidity, 1.0);
+  }
+  EXPECT_NEAR(terr.mean(), 0.0, 0.05);
+  EXPECT_NEAR(terr.stddev(), 0.2, 0.05);
+}
+
+TEST(Sensors, GasRisesWithActivity) {
+  hive::GasSensor a(2);
+  hive::GasSensor b(2);
+  u::RunningStats idle;
+  u::RunningStats busy;
+  for (int i = 0; i < 200; ++i) {
+    idle.add(a.read(0.0));
+    busy.add(b.read(1.0));
+  }
+  EXPECT_GT(busy.mean(), idle.mean() + 500.0);
+}
+
+TEST(Sensors, SnapshotCombinesAllSources) {
+  hive::WeatherModel weather;
+  hive::ColonyModel colony;
+  hive::Sht31Sensor sht31(3);
+  hive::GasSensor gas(4);
+  const auto snap = hive::collect_snapshot(13.0 * u::kHour, weather, colony,
+                                           sht31, gas);
+  EXPECT_GT(snap.in_hive.temperature, 28.0);  // occupied hive
+  EXPECT_GT(snap.colony_activity, 0.3);
+  EXPECT_TRUE(snap.queen_present);
+  EXPECT_GT(snap.gas, 400.0);
+}
+
+// ------------------------------------------------------------- SmartBeehive
+
+namespace {
+
+hive::SmartBeehive::Config test_config(std::uint64_t seed, bool degraded) {
+  hive::SmartBeehive::Config cfg;
+  cfg.seed = seed;
+  cfg.energy = degraded ? hive::EnergyChainConfig::degraded(seed)
+                        : hive::EnergyChainConfig::nominal(seed);
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SmartBeehive, CompletesWakeupsOnHealthyChain) {
+  beesim::sim::Engine engine;
+  hive::SmartBeehive beehive(engine, test_config(1, false), nullptr);
+  engine.run_until(1.0 * u::kDay);
+  beehive.settle();
+  const auto stats = beehive.stats();
+  // 10-minute wake-ups over a day: 144 attempts, nearly all completed.
+  EXPECT_EQ(stats.wakeups_attempted, 144u);
+  EXPECT_GT(stats.wakeups_completed, 135u);
+  EXPECT_DOUBLE_EQ(stats.outage_time, 0.0);
+  EXPECT_GT(stats.consumed, 0.0);
+}
+
+TEST(SmartBeehive, DegradedChainBrownsOutAtNight) {
+  beesim::sim::Engine engine;
+  hive::SmartBeehive beehive(engine, test_config(2, true), nullptr);
+  engine.run_until(2.0 * u::kDay);
+  beehive.settle();
+  const auto stats = beehive.stats();
+  // Fig 2a behaviour: the node dies after dusk and recovers by day.
+  EXPECT_GT(stats.outage_time, 2.0 * u::kHour);
+  EXPECT_GT(stats.wakeups_skipped, 10u);
+  EXPECT_GT(stats.wakeups_completed, 30u);  // daytime still works
+}
+
+TEST(SmartBeehive, RecordsEnvironmentTrace) {
+  beesim::sim::Engine engine;
+  beesim::sim::TraceRecorder trace;
+  auto cfg = test_config(3, false);
+  cfg.colony_introduction = 6.0 * u::kHour;
+  hive::SmartBeehive beehive(engine, cfg, &trace);
+  engine.run_until(12.0 * u::kHour);
+  beehive.settle();
+  const auto* temp = trace.find("hive_temp_c");
+  ASSERT_NE(temp, nullptr);
+  EXPECT_GT(temp->size(), 100u);
+  // Empty early morning: hive tracks cold ambient; after introduction the
+  // colony regulates upward.
+  EXPECT_LT(temp->sample_at(3.0 * u::kHour), 20.0);
+  EXPECT_GT(temp->sample_at(11.0 * u::kHour), 28.0);
+  EXPECT_NE(trace.find("pi_power_w"), nullptr);
+  EXPECT_NE(trace.find("battery_soc"), nullptr);
+}
+
+TEST(SmartBeehive, EnergyConservedBetweenNodeAndMeters) {
+  beesim::sim::Engine engine;
+  hive::SmartBeehive beehive(engine, test_config(4, false), nullptr);
+  engine.run_until(6.0 * u::kHour);
+  beehive.settle();
+  const auto stats = beehive.stats();
+  // Delivered energy equals what the devices drew (no brownout on the
+  // healthy chain; meter and node step on the same schedule).
+  EXPECT_NEAR(beehive.energy_node().total_delivered(), stats.consumed,
+              stats.consumed * 0.02 + 1.0);
+}
+
+TEST(SmartBeehive, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    beesim::sim::Engine engine;
+    hive::SmartBeehive beehive(engine, test_config(seed, true), nullptr);
+    engine.run_until(1.0 * u::kDay);
+    beehive.settle();
+    return beehive.stats();
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a.wakeups_completed, b.wakeups_completed);
+  EXPECT_DOUBLE_EQ(a.consumed, b.consumed);
+  const auto c = run(8);
+  EXPECT_NE(a.consumed, c.consumed);  // different weather/jitter
+}
+
+TEST(SmartBeehive, MeasuredPowerTraceTracksTruePower) {
+  beesim::sim::Engine engine;
+  beesim::sim::TraceRecorder trace;
+  hive::SmartBeehive beehive(engine, test_config(41, false), &trace);
+  engine.run_until(6.0 * u::kHour);
+  beehive.settle();
+  const auto* measured = trace.find("pi_power_measured_w");
+  const auto* true_power = trace.find("pi_power_w");
+  ASSERT_NE(measured, nullptr);
+  ASSERT_NE(true_power, nullptr);
+  // The sensor view must track the true series within ADC noise on
+  // average (sampled at monitor ticks).
+  u::RunningStats err;
+  for (double t = u::kMinute; t < 6.0 * u::kHour; t += u::kMinute)
+    err.add(measured->sample_at(t) - true_power->sample_at(t));
+  EXPECT_NEAR(err.mean(), 0.0, 0.05);
+  EXPECT_LT(err.stddev(), 0.2);
+  // And it must catch the wake-up spikes (Fig 2b).
+  EXPECT_GT(measured->max_value(), 1.5);
+}

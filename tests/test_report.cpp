@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "beesim.hpp"  // also verifies the umbrella header compiles
+
+namespace core = beesim::core;
+
+namespace {
+
+core::ReportOptions small_report(int clients) {
+  core::ReportOptions options;
+  options.clients = clients;
+  options.uncertainty_samples = 40;  // keep the test quick
+  return options;
+}
+
+}  // namespace
+
+TEST(Report, ContainsEverySection) {
+  const auto md = core::markdown_deployment_report(small_report(500));
+  EXPECT_NE(md.find("# Deployment report"), std::string::npos);
+  EXPECT_NE(md.find("## Per-cycle cost model"), std::string::npos);
+  EXPECT_NE(md.find("## Placement verdict"), std::string::npos);
+  EXPECT_NE(md.find("## Service plan"), std::string::npos);
+  EXPECT_NE(md.find("## Robustness under loss uncertainty"),
+            std::string::npos);
+  // Calibrated anchors appear verbatim.
+  EXPECT_NE(md.find("367.5"), std::string::npos);  // Table I CNN total
+  EXPECT_NE(md.find("322.0"), std::string::npos);  // Table II edge total
+}
+
+TEST(Report, VerdictMatchesAdvisor) {
+  // Below the crossover: edge-only; above (at the full-server sweet
+  // spot): edge+cloud.
+  const auto small = core::markdown_deployment_report(small_report(100));
+  EXPECT_NE(small.find("Recommendation: EDGE-ONLY"), std::string::npos);
+  const auto large = core::markdown_deployment_report(small_report(630));
+  EXPECT_NE(large.find("Recommendation: EDGE+CLOUD"), std::string::npos);
+}
+
+TEST(Report, MultiServicePlanRendersEveryService) {
+  auto options = small_report(400);
+  options.services = {beesim::hive::services::queen_detection_cnn(),
+                      beesim::hive::services::swarm_prediction()};
+  const auto md = core::markdown_deployment_report(options);
+  EXPECT_NE(md.find("queen_detection_cnn"), std::string::npos);
+  EXPECT_NE(md.find("swarm_prediction"), std::string::npos);
+}
+
+TEST(Report, UncertaintySectionIsOptional) {
+  auto options = small_report(300);
+  options.uncertainty_samples = 0;
+  const auto md = core::markdown_deployment_report(options);
+  EXPECT_EQ(md.find("## Robustness"), std::string::npos);
+}
+
+TEST(Report, FragileVerdictsAreFlagged) {
+  // Deep inside the edge-only region the verdict is robust; the report
+  // must say so (win probability ~0).
+  const auto md = core::markdown_deployment_report(small_report(100));
+  EXPECT_NE(md.find("**robust**"), std::string::npos);
+}
+
+TEST(Report, RejectsBadOptions) {
+  EXPECT_THROW(core::markdown_deployment_report(small_report(0)),
+               std::invalid_argument);
+}

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "audio/dataset.hpp"
+#include "ml/network.hpp"
+#include "ml/serialize.hpp"
+#include "ml/svm.hpp"
+#include "util/rng.hpp"
+
+namespace ml = beesim::ml;
+
+namespace {
+
+/// A small trained SVM + scaler on separable blobs.
+struct TrainedSvm {
+  ml::StandardScaler scaler;
+  ml::SvmClassifier svm;
+  std::vector<std::vector<double>> x;
+  std::vector<bool> y;
+};
+
+TrainedSvm make_trained_svm() {
+  beesim::util::Rng rng(3);
+  TrainedSvm t;
+  for (int i = 0; i < 60; ++i) {
+    const bool cls = i % 2 == 0;
+    t.x.push_back({rng.normal(cls ? 2.0 : -2.0, 0.6),
+                   rng.normal(cls ? -1.0 : 1.0, 0.6)});
+    t.y.push_back(cls);
+  }
+  t.scaler.fit(t.x);
+  ml::SvmClassifier::Params p;
+  p.c = 10.0;
+  p.gamma = 0.5;
+  t.svm = ml::SvmClassifier(p);
+  t.svm.fit(t.scaler.transform(t.x), t.y);
+  return t;
+}
+
+}  // namespace
+
+TEST(Serialize, SvmRoundTripPreservesDecisions) {
+  const auto trained = make_trained_svm();
+  std::stringstream buffer;
+  ml::save_svm(trained.svm, buffer);
+  const ml::SvmClassifier loaded = ml::load_svm(buffer);
+  EXPECT_EQ(loaded.support_vector_count(),
+            trained.svm.support_vector_count());
+  EXPECT_DOUBLE_EQ(loaded.bias(), trained.svm.bias());
+  for (const auto& row : trained.x) {
+    const auto scaled = trained.scaler.transform(row);
+    EXPECT_DOUBLE_EQ(loaded.decision(scaled),
+                     trained.svm.decision(scaled));
+  }
+}
+
+TEST(Serialize, ScalerRoundTrip) {
+  const auto trained = make_trained_svm();
+  std::stringstream buffer;
+  ml::save_scaler(trained.scaler, buffer);
+  const ml::StandardScaler loaded = ml::load_scaler(buffer);
+  for (const auto& row : trained.x)
+    EXPECT_EQ(loaded.transform(row), trained.scaler.transform(row));
+}
+
+TEST(Serialize, UntrainedModelsRefuseToSave) {
+  ml::SvmClassifier svm;
+  std::stringstream buffer;
+  EXPECT_THROW(ml::save_svm(svm, buffer), std::logic_error);
+  ml::StandardScaler scaler;
+  EXPECT_THROW(ml::save_scaler(scaler, buffer), std::logic_error);
+}
+
+TEST(Serialize, LoadRejectsWrongHeader) {
+  std::stringstream buffer("not-a-model\n1 2 3\n");
+  EXPECT_THROW(ml::load_svm(buffer), std::runtime_error);
+  std::stringstream buffer2("beesim-svm-v1\n");  // truncated
+  EXPECT_THROW(ml::load_svm(buffer2), std::runtime_error);
+}
+
+TEST(Serialize, CnnRoundTripPreservesLogits) {
+  beesim::util::Rng rng(9);
+  const std::size_t channels = 4;
+  const std::size_t side = 16;
+  ml::Network net = ml::make_queen_cnn(rng, channels, side);
+
+  std::stringstream buffer;
+  ml::save_queen_cnn(net, channels, side, buffer);
+  auto loaded = ml::load_queen_cnn(buffer);
+  EXPECT_EQ(loaded.base_channels, channels);
+  EXPECT_EQ(loaded.input_side, side);
+  EXPECT_EQ(loaded.network.parameter_count(), net.parameter_count());
+
+  ml::Tensor input({2, 1, side, side});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.uniform());
+  const auto a = net.forward(input, false);
+  const auto b = loaded.network.forward(input, false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, CnnLoadRejectsTruncatedParameters) {
+  beesim::util::Rng rng(10);
+  ml::Network net = ml::make_queen_cnn(rng, 4, 16);
+  std::stringstream buffer;
+  ml::save_queen_cnn(net, 4, 16, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);  // chop the parameter block
+  std::stringstream truncated(text);
+  EXPECT_THROW(ml::load_queen_cnn(truncated), std::runtime_error);
+}
+
+TEST(Serialize, NetworkParameterVectorRoundTrip) {
+  beesim::util::Rng rng(11);
+  ml::Network a = ml::make_queen_cnn(rng, 4, 12);
+  ml::Network b = ml::make_queen_cnn(rng, 4, 12);  // different init
+  const auto params = a.parameters();
+  EXPECT_EQ(params.size(), a.parameter_count());
+  b.set_parameters(params);
+  EXPECT_EQ(b.parameters(), params);
+  EXPECT_THROW(b.set_parameters(std::vector<float>(3)),
+               std::invalid_argument);
+}
+
+/// Deployment flow: train in the "cloud", ship the model file to the
+/// "edge", predictions must be identical.
+TEST(Serialize, TrainedQueenCnnDeploysLosslessly) {
+  beesim::audio::DatasetParams params;
+  params.count = 40;
+  params.clip_seconds = 0.6;
+  const auto ds = beesim::audio::generate_queen_dataset(params);
+  std::vector<beesim::dsp::Matrix> images;
+  std::vector<std::size_t> labels;
+  const std::size_t side = 24;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    images.push_back(ds.image(i, side));
+    labels.push_back(ds.examples[i].queen_present ? 1u : 0u);
+  }
+  beesim::util::Rng rng(12);
+  ml::Network net = ml::make_queen_cnn(rng, 4, side);
+  ml::TrainOptions opt;
+  opt.epochs = 3;
+  ml::train_classifier(net, images, labels, opt);
+
+  std::stringstream file;
+  ml::save_queen_cnn(net, 4, side, file);
+  auto deployed = ml::load_queen_cnn(file);
+
+  const auto logits_cloud = net.forward(ml::images_to_tensor(images), false);
+  const auto logits_edge =
+      deployed.network.forward(ml::images_to_tensor(images), false);
+  EXPECT_EQ(ml::SoftmaxCrossEntropy::predict(logits_cloud),
+            ml::SoftmaxCrossEntropy::predict(logits_edge));
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+#include "hive/services.hpp"
+#include "ml/costmodel.hpp"
+#include "net/payload.hpp"
+
+namespace hive = beesim::hive;
+namespace cal = beesim::device::cal;
+namespace svc = beesim::hive::services;
+
+TEST(Services, QueenDetectionMatchesMeasuredTables) {
+  const auto s = svc::queen_detection_cnn();
+  EXPECT_NEAR(s.edge_energy(), 94.8, 1e-9);    // Table I
+  EXPECT_NEAR(s.cloud_energy(), 108.0, 1e-9);  // Table II
+  EXPECT_NEAR(s.edge_time, 37.6, 1e-9);
+  EXPECT_NEAR(s.cloud_time, 1.0, 1e-9);
+  const auto svm = svc::queen_detection_svm();
+  EXPECT_NEAR(svm.edge_energy(), 98.9, 1e-9);
+  EXPECT_NEAR(svm.cloud_energy(), 6.3, 1e-9);
+}
+
+TEST(Services, UploadSizesComeFromTheCatalog) {
+  EXPECT_DOUBLE_EQ(svc::queen_detection_cnn().upload_bytes,
+                   beesim::net::catalog::audio_sample().size);
+  EXPECT_DOUBLE_EQ(svc::pollen_detection().upload_bytes,
+                   5.0 * beesim::net::catalog::entrance_image().size);
+  EXPECT_DOUBLE_EQ(svc::swarm_prediction().upload_bytes,
+                   beesim::net::catalog::sensor_record().size);
+}
+
+TEST(Services, ExtrapolatedCostsAreOrderedSensibly) {
+  const auto queen = svc::queen_detection_cnn();
+  const auto pollen = svc::pollen_detection();
+  const auto counting = svc::bee_counting();
+  // Five 224x224 detections dwarf one 100x100 classification.
+  EXPECT_GT(pollen.edge_energy(), 5.0 * queen.edge_energy());
+  // 160x160 at half the model is cheaper than 224x224 full.
+  EXPECT_LT(counting.edge_energy(), pollen.edge_energy());
+  EXPECT_GT(counting.edge_energy(), queen.edge_energy());
+  // Cloud inference is faster but higher-power on every service.
+  for (const auto& s : svc::catalog()) {
+    EXPECT_LT(s.cloud_time, s.edge_time) << s.name;
+    EXPECT_GT(s.cloud_power, s.edge_power) << s.name;
+  }
+}
+
+TEST(Services, PeriodicAmortization) {
+  const auto swarm = svc::swarm_prediction();
+  EXPECT_EQ(swarm.period_cycles, 12);
+  EXPECT_NEAR(swarm.edge_energy_per_cycle(), swarm.edge_energy() / 12.0,
+              1e-12);
+  const auto queen = svc::queen_detection_cnn();
+  EXPECT_DOUBLE_EQ(queen.edge_energy_per_cycle(), queen.edge_energy());
+}
+
+TEST(Services, CatalogIsCompleteAndUnique) {
+  const auto all = svc::catalog();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i].name.empty());
+    EXPECT_GT(all[i].edge_time, 0.0) << all[i].name;
+    EXPECT_GT(all[i].upload_bytes, 0.0) << all[i].name;
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_NE(all[i].name, all[j].name);
+  }
+}
+
+TEST(Services, ConsistentWithComputeModels) {
+  // The extrapolated services must sit exactly on the calibrated device
+  // compute lines (same FLOPs -> same time ratio as the anchors).
+  const auto rpi = beesim::ml::rpi_cnn_compute();
+  const auto cloud = beesim::ml::cloud_cnn_compute();
+  const auto pollen = svc::pollen_detection();
+  const double flops = 5.0 * beesim::ml::resnet18_flops(224);
+  EXPECT_NEAR(pollen.edge_time, rpi.time_for(flops), 1e-9);
+  EXPECT_NEAR(pollen.cloud_time, cloud.time_for(flops), 1e-9);
+  // Speedup edge->cloud matches the measured queen-detection speedup
+  // (37.6 s -> 1.0 s) since both run through the same models.
+  EXPECT_NEAR(pollen.edge_time / pollen.cloud_time, 37.6, 0.1);
+}

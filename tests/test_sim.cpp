@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace sim = beesim::sim;
+
+// ------------------------------------------------------------------- Engine
+
+TEST(Engine, StartsAtTimeZero) {
+  sim::Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&](sim::Engine&) { order.push_back(3); });
+  engine.schedule_at(1.0, [&](sim::Engine&) { order.push_back(1); });
+  engine.schedule_at(2.0, [&](sim::Engine&) { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    engine.schedule_at(1.0, [&, i](sim::Engine&) { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  sim::Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(7.5, [&](sim::Engine& e) { seen = e.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Engine, RunUntilStopsAtHorizonAndAdvancesClock) {
+  sim::Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&](sim::Engine&) { ++fired; });
+  engine.schedule_at(10.0, [&](sim::Engine&) { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  engine.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventAtHorizonBoundaryRuns) {
+  sim::Engine engine;
+  bool fired = false;
+  engine.schedule_at(5.0, [&](sim::Engine&) { fired = true; });
+  engine.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  sim::Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(2.0, [&](sim::Engine& e) {
+    e.schedule_after(3.0, [&](sim::Engine& e2) { seen = e2.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  sim::Engine engine;
+  engine.schedule_at(1.0, [](sim::Engine&) {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(0.5, [](sim::Engine&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [](sim::Engine&) {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsNullCallback) {
+  sim::Engine engine;
+  EXPECT_THROW(engine.schedule_at(1.0, sim::Engine::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  sim::Engine engine;
+  bool fired = false;
+  const auto id = engine.schedule_at(1.0, [&](sim::Engine&) { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // already cancelled
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  sim::Engine engine;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule_at(static_cast<double>(i), [](sim::Engine&) {});
+  engine.run();
+  EXPECT_EQ(engine.executed(), 10u);
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  sim::Engine engine;
+  int depth = 0;
+  std::function<void(sim::Engine&)> chain = [&](sim::Engine& e) {
+    if (++depth < 5) e.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+// ------------------------------------------------------------- PeriodicTask
+
+TEST(PeriodicTask, FiresAtFixedInterval) {
+  sim::Engine engine;
+  std::vector<double> times;
+  sim::PeriodicTask task(engine, 10.0, 5.0,
+                         [&](sim::Engine& e, sim::PeriodicTask&) {
+                           times.push_back(e.now());
+                         });
+  engine.run_until(26.0);
+  EXPECT_EQ(times, (std::vector<double>{10.0, 15.0, 20.0, 25.0}));
+}
+
+TEST(PeriodicTask, StopHaltsFutureFirings) {
+  sim::Engine engine;
+  int count = 0;
+  sim::PeriodicTask task(engine, 1.0, 1.0,
+                         [&](sim::Engine&, sim::PeriodicTask& t) {
+                           if (++count == 3) t.stop();
+                         });
+  engine.run_until(100.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(task.stopped());
+}
+
+TEST(PeriodicTask, DestructorCancelsPending) {
+  sim::Engine engine;
+  int count = 0;
+  {
+    sim::PeriodicTask task(engine, 1.0, 1.0,
+                           [&](sim::Engine&, sim::PeriodicTask&) { ++count; });
+  }
+  engine.run_until(10.0);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTask, PeriodCanChangeMidRun) {
+  sim::Engine engine;
+  std::vector<double> times;
+  sim::PeriodicTask task(engine, 1.0, 1.0,
+                         [&](sim::Engine& e, sim::PeriodicTask& t) {
+                           times.push_back(e.now());
+                           t.set_period(10.0);
+                         });
+  engine.run_until(25.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 11.0, 21.0}));
+}
+
+TEST(PeriodicTask, RejectsNonPositivePeriod) {
+  sim::Engine engine;
+  EXPECT_THROW(sim::PeriodicTask(engine, 0.0, 0.0,
+                                 [](sim::Engine&, sim::PeriodicTask&) {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- Series
+
+TEST(Series, ZeroOrderHoldSampling) {
+  sim::Series s("p");
+  s.append(0.0, 1.0);
+  s.append(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_at(-1.0), 0.0);  // before first sample
+  EXPECT_DOUBLE_EQ(s.sample_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_at(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_at(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_at(100.0), 3.0);
+}
+
+TEST(Series, IntegrateIsEnergyForPowerSeries) {
+  sim::Series s("p");
+  s.append(0.0, 2.0);   // 2 W for 10 s = 20 J
+  s.append(10.0, 0.5);  // 0.5 W for 10 s = 5 J
+  EXPECT_DOUBLE_EQ(s.integrate(0.0, 20.0), 25.0);
+  EXPECT_DOUBLE_EQ(s.mean(0.0, 20.0), 1.25);
+}
+
+TEST(Series, IntegratePartialWindow) {
+  sim::Series s("p");
+  s.append(0.0, 4.0);
+  s.append(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.integrate(5.0, 15.0), 20.0);
+}
+
+TEST(Series, RejectsBackwardsTime) {
+  sim::Series s("p");
+  s.append(5.0, 1.0);
+  EXPECT_THROW(s.append(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(Series, SameTimestampOverwrites) {
+  sim::Series s("p");
+  s.append(1.0, 1.0);
+  s.append(1.0, 2.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.sample_at(1.0), 2.0);
+}
+
+TEST(Series, MinMax) {
+  sim::Series s("p");
+  s.append(0.0, 3.0);
+  s.append(1.0, -2.0);
+  s.append(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 7.0);
+}
+
+// ------------------------------------------------------------ TraceRecorder
+
+TEST(TraceRecorder, CreatesSeriesOnDemand) {
+  sim::TraceRecorder trace;
+  trace.series("a").append(0.0, 1.0);
+  trace.series("a").append(1.0, 2.0);
+  EXPECT_EQ(trace.series("a").size(), 2u);
+  EXPECT_NE(trace.find("a"), nullptr);
+  EXPECT_EQ(trace.find("missing"), nullptr);
+}
+
+TEST(TraceRecorder, CsvExportHasHeaderAndGrid) {
+  sim::TraceRecorder trace;
+  trace.series("x").append(0.0, 1.0);
+  trace.series("y").append(0.0, 2.0);
+  std::ostringstream out;
+  trace.write_csv(out, 0.0, 2.0, 1.0);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("time_s,x,y"), std::string::npos);
+  // 1 header + 3 rows (t = 0, 1, 2).
+  int lines = 0;
+  for (char c : s)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+// ----------------------------------------------------------- Determinism
+
+TEST(SimProperty, IdenticalRunsProduceIdenticalTraces) {
+  auto run = [] {
+    sim::Engine engine;
+    sim::TraceRecorder trace;
+    sim::PeriodicTask task(engine, 1.0, 2.5,
+                           [&](sim::Engine& e, sim::PeriodicTask&) {
+                             trace.series("t").append(e.now(), e.now() * 2);
+                           });
+    engine.run_until(50.0);
+    return trace.series("t").values();
+  };
+  EXPECT_EQ(run(), run());
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/uncertainty.hpp"
+
+namespace core = beesim::core;
+using core::LossUncertainty;
+using core::UncertaintyAnalysis;
+
+namespace {
+
+UncertaintyAnalysis::Options default_options(int samples = 100) {
+  UncertaintyAnalysis::Options opt;
+  opt.samples = samples;
+  return opt;
+}
+
+}  // namespace
+
+TEST(LossUncertainty, SamplesStayInRanges) {
+  LossUncertainty ranges;
+  beesim::util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto loss = ranges.sample(rng);
+    EXPECT_TRUE(loss.slot_saturation);
+    EXPECT_TRUE(loss.client_dropout);
+    EXPECT_GE(loss.saturation_penalty, ranges.saturation_penalty_lo);
+    EXPECT_LE(loss.saturation_penalty, ranges.saturation_penalty_hi);
+    EXPECT_GE(loss.saturation_slack, ranges.saturation_slack_lo);
+    EXPECT_LE(loss.saturation_slack, ranges.saturation_slack_hi);
+    EXPECT_GE(loss.extra_transfer_per_client, ranges.extra_transfer_lo);
+    EXPECT_LE(loss.extra_transfer_per_client, ranges.extra_transfer_hi);
+    EXPECT_GE(loss.dropout_mean_fraction, ranges.dropout_fraction_lo);
+    EXPECT_LE(loss.dropout_mean_fraction, ranges.dropout_fraction_hi);
+  }
+}
+
+TEST(LossUncertainty, DegenerateRangeIsDeterministic) {
+  LossUncertainty ranges;
+  ranges.saturation_penalty_lo = ranges.saturation_penalty_hi = 0.10;
+  ranges.extra_transfer_lo = ranges.extra_transfer_hi = 0.0;
+  beesim::util::Rng rng(2);
+  const auto loss = ranges.sample(rng);
+  EXPECT_DOUBLE_EQ(loss.saturation_penalty, 0.10);
+  EXPECT_FALSE(loss.transfer_stretch);  // zero stretch disables the loss
+}
+
+TEST(UncertaintyAnalysis, PercentilesAreOrdered) {
+  UncertaintyAnalysis analysis(default_options());
+  const auto dist = analysis.analyze(500);
+  EXPECT_LE(dist.advantage_p10, dist.advantage_p50);
+  EXPECT_LE(dist.advantage_p50, dist.advantage_p90);
+  EXPECT_GE(dist.win_probability, 0.0);
+  EXPECT_LE(dist.win_probability, 1.0);
+  EXPECT_EQ(dist.clients, 500);
+}
+
+TEST(UncertaintyAnalysis, SmallFleetsNeverWin) {
+  // Below the deterministic crossover the cloud cannot win under any
+  // loss draw (losses only hurt it further).
+  UncertaintyAnalysis analysis(default_options());
+  const auto dist = analysis.analyze(100);
+  EXPECT_DOUBLE_EQ(dist.win_probability, 0.0);
+  EXPECT_LT(dist.advantage_p90, 0.0);
+}
+
+TEST(UncertaintyAnalysis, WinProbabilityGrowsWithFleetSize) {
+  UncertaintyAnalysis analysis(default_options(150));
+  const auto small = analysis.analyze(200);
+  const auto sweet = analysis.analyze(540);  // balanced-policy sweet spot
+  EXPECT_GE(sweet.win_probability, small.win_probability);
+  EXPECT_GT(sweet.advantage_p50, small.advantage_p50);
+}
+
+TEST(UncertaintyAnalysis, DeterministicForSeed) {
+  UncertaintyAnalysis a(default_options(50));
+  UncertaintyAnalysis b(default_options(50));
+  const auto da = a.analyze(400);
+  const auto db = b.analyze(400);
+  EXPECT_DOUBLE_EQ(da.win_probability, db.win_probability);
+  EXPECT_DOUBLE_EQ(da.advantage_p50, db.advantage_p50);
+}
+
+TEST(UncertaintyAnalysis, SweepCoversAllSizes) {
+  UncertaintyAnalysis analysis(default_options(30));
+  const auto rows = analysis.sweep({100, 300, 600});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].clients, 100);
+  EXPECT_EQ(rows[2].clients, 600);
+}
+
+TEST(UncertaintyAnalysis, RejectsBadInputs) {
+  auto opt = default_options();
+  opt.samples = 0;
+  EXPECT_THROW(UncertaintyAnalysis{opt}, std::invalid_argument);
+  opt = default_options();
+  opt.uncertainty.saturation_penalty_lo = 0.5;
+  opt.uncertainty.saturation_penalty_hi = 0.1;
+  EXPECT_THROW(UncertaintyAnalysis{opt}, std::invalid_argument);
+  UncertaintyAnalysis ok(default_options(10));
+  EXPECT_THROW(ok.analyze(0), std::invalid_argument);
+}
+
+TEST(UncertaintyAnalysis, TighterUncertaintyNarrowsTheBand) {
+  auto wide_opt = default_options(150);
+  auto tight_opt = default_options(150);
+  tight_opt.uncertainty.saturation_penalty_lo = 0.09;
+  tight_opt.uncertainty.saturation_penalty_hi = 0.11;
+  tight_opt.uncertainty.extra_transfer_lo = 0.0;
+  tight_opt.uncertainty.extra_transfer_hi = 0.05;
+  tight_opt.uncertainty.dropout_fraction_lo = 0.09;
+  tight_opt.uncertainty.dropout_fraction_hi = 0.11;
+  UncertaintyAnalysis wide(wide_opt);
+  UncertaintyAnalysis tight(tight_opt);
+  const auto dw = wide.analyze(540);
+  const auto dt = tight.analyze(540);
+  EXPECT_LT(dt.advantage_p90 - dt.advantage_p10,
+            dw.advantage_p90 - dw.advantage_p10);
+}
