@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_wakeup.dir/ablation_adaptive_wakeup.cpp.o"
+  "CMakeFiles/ablation_adaptive_wakeup.dir/ablation_adaptive_wakeup.cpp.o.d"
+  "ablation_adaptive_wakeup"
+  "ablation_adaptive_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seasons.dir/ablation_seasons.cpp.o"
+  "CMakeFiles/ablation_seasons.dir/ablation_seasons.cpp.o.d"
+  "ablation_seasons"
+  "ablation_seasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_server_power.dir/ablation_server_power.cpp.o"
+  "CMakeFiles/ablation_server_power.dir/ablation_server_power.cpp.o.d"
+  "ablation_server_power"
+  "ablation_server_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_server_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

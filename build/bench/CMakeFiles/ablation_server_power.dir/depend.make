@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_server_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_weekly_trace.dir/fig2_weekly_trace.cpp.o"
+  "CMakeFiles/fig2_weekly_trace.dir/fig2_weekly_trace.cpp.o.d"
+  "fig2_weekly_trace"
+  "fig2_weekly_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_weekly_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

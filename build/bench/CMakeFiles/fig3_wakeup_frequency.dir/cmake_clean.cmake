@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wakeup_frequency.dir/fig3_wakeup_frequency.cpp.o"
+  "CMakeFiles/fig3_wakeup_frequency.dir/fig3_wakeup_frequency.cpp.o.d"
+  "fig3_wakeup_frequency"
+  "fig3_wakeup_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wakeup_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_largescale_ideal.dir/fig6_largescale_ideal.cpp.o"
+  "CMakeFiles/fig6_largescale_ideal.dir/fig6_largescale_ideal.cpp.o.d"
+  "fig6_largescale_ideal"
+  "fig6_largescale_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_largescale_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

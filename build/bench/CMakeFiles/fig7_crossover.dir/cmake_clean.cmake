@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_crossover.dir/fig7_crossover.cpp.o"
+  "CMakeFiles/fig7_crossover.dir/fig7_crossover.cpp.o.d"
+  "fig7_crossover"
+  "fig7_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

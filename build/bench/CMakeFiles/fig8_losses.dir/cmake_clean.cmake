@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_losses.dir/fig8_losses.cpp.o"
+  "CMakeFiles/fig8_losses.dir/fig8_losses.cpp.o.d"
+  "fig8_losses"
+  "fig8_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

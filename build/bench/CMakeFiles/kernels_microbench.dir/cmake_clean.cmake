@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_microbench.dir/kernels_microbench.cpp.o"
+  "CMakeFiles/kernels_microbench.dir/kernels_microbench.cpp.o.d"
+  "kernels_microbench"
+  "kernels_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_orchestration.dir/services_orchestration.cpp.o"
+  "CMakeFiles/services_orchestration.dir/services_orchestration.cpp.o.d"
+  "services_orchestration"
+  "services_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

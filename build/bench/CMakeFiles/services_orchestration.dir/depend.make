@@ -1,0 +1,2 @@
+# Empty dependencies file for services_orchestration.
+# This may be replaced when dependencies are built.

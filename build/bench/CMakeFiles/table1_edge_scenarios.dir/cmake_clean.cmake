@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_edge_scenarios.dir/table1_edge_scenarios.cpp.o"
+  "CMakeFiles/table1_edge_scenarios.dir/table1_edge_scenarios.cpp.o.d"
+  "table1_edge_scenarios"
+  "table1_edge_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_edge_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_edge_scenarios.
+# This may be replaced when dependencies are built.

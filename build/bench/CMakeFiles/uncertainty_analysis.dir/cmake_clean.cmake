@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_analysis.dir/uncertainty_analysis.cpp.o"
+  "CMakeFiles/uncertainty_analysis.dir/uncertainty_analysis.cpp.o.d"
+  "uncertainty_analysis"
+  "uncertainty_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1 "/root/repo/build/bench/table1_edge_scenarios")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2 "/root/repo/build/bench/table2_edgecloud_scenarios")
+set_tests_properties(bench_smoke_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2 "/root/repo/build/bench/fig2_weekly_trace" "days=1")
+set_tests_properties(bench_smoke_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3 "/root/repo/build/bench/fig3_wakeup_frequency" "hours_per_setting=1" "routines=30")
+set_tests_properties(bench_smoke_fig3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5 "/root/repo/build/bench/fig5_model_energy_accuracy" "clips=24" "clip_seconds=0.6" "epochs=1" "sides=20,40")
+set_tests_properties(bench_smoke_fig5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6 "/root/repo/build/bench/fig6_largescale_ideal" "hi=100")
+set_tests_properties(bench_smoke_fig6 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7 "/root/repo/build/bench/fig7_crossover" "hi=900" "step=300")
+set_tests_properties(bench_smoke_fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8 "/root/repo/build/bench/fig8_losses" "hi=100" "step=50" "cycles_per_point=2")
+set_tests_properties(bench_smoke_fig8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig9 "/root/repo/build/bench/fig9_losses_comparison" "hi=700" "step=300" "cycles_per_point=2")
+set_tests_properties(bench_smoke_fig9 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_services "/root/repo/build/bench/services_orchestration" "fleets=20,630")
+set_tests_properties(bench_smoke_services PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_uncertainty "/root/repo/build/bench/uncertainty_analysis" "samples=20" "hi=600" "step=250")
+set_tests_properties(bench_smoke_uncertainty PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_server_power "/root/repo/build/bench/ablation_server_power" "hi=700")
+set_tests_properties(bench_smoke_server_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;49;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_adaptive "/root/repo/build/bench/ablation_adaptive_wakeup" "days=1")
+set_tests_properties(bench_smoke_adaptive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;51;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_seasons "/root/repo/build/bench/ablation_seasons" "days=1")
+set_tests_properties(bench_smoke_seasons PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")

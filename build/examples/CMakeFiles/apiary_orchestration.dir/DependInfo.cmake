@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/apiary_orchestration.cpp" "examples/CMakeFiles/apiary_orchestration.dir/apiary_orchestration.cpp.o" "gcc" "examples/CMakeFiles/apiary_orchestration.dir/apiary_orchestration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiary_orchestration.dir/apiary_orchestration.cpp.o"
+  "CMakeFiles/apiary_orchestration.dir/apiary_orchestration.cpp.o.d"
+  "apiary_orchestration"
+  "apiary_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiary_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

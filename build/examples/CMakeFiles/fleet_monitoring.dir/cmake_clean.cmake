@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_monitoring.dir/fleet_monitoring.cpp.o"
+  "CMakeFiles/fleet_monitoring.dir/fleet_monitoring.cpp.o.d"
+  "fleet_monitoring"
+  "fleet_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

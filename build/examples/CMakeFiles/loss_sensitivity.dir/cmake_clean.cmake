@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_sensitivity.dir/loss_sensitivity.cpp.o"
+  "CMakeFiles/loss_sensitivity.dir/loss_sensitivity.cpp.o.d"
+  "loss_sensitivity"
+  "loss_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

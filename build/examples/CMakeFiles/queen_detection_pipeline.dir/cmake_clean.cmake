@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queen_detection_pipeline.dir/queen_detection_pipeline.cpp.o"
+  "CMakeFiles/queen_detection_pipeline.dir/queen_detection_pipeline.cpp.o.d"
+  "queen_detection_pipeline"
+  "queen_detection_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queen_detection_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

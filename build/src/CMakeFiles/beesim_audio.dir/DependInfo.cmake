@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/dataset.cpp" "src/CMakeFiles/beesim_audio.dir/audio/dataset.cpp.o" "gcc" "src/CMakeFiles/beesim_audio.dir/audio/dataset.cpp.o.d"
+  "/root/repo/src/audio/synth.cpp" "src/CMakeFiles/beesim_audio.dir/audio/synth.cpp.o" "gcc" "src/CMakeFiles/beesim_audio.dir/audio/synth.cpp.o.d"
+  "/root/repo/src/audio/wav.cpp" "src/CMakeFiles/beesim_audio.dir/audio/wav.cpp.o" "gcc" "src/CMakeFiles/beesim_audio.dir/audio/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_audio.dir/audio/dataset.cpp.o"
+  "CMakeFiles/beesim_audio.dir/audio/dataset.cpp.o.d"
+  "CMakeFiles/beesim_audio.dir/audio/synth.cpp.o"
+  "CMakeFiles/beesim_audio.dir/audio/synth.cpp.o.d"
+  "CMakeFiles/beesim_audio.dir/audio/wav.cpp.o"
+  "CMakeFiles/beesim_audio.dir/audio/wav.cpp.o.d"
+  "libbeesim_audio.a"
+  "libbeesim_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/CMakeFiles/beesim_core.dir/core/allocator.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/allocator.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/CMakeFiles/beesim_core.dir/core/client.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/client.cpp.o.d"
+  "/root/repo/src/core/des_check.cpp" "src/CMakeFiles/beesim_core.dir/core/des_check.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/des_check.cpp.o.d"
+  "/root/repo/src/core/loss.cpp" "src/CMakeFiles/beesim_core.dir/core/loss.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/loss.cpp.o.d"
+  "/root/repo/src/core/network_sim.cpp" "src/CMakeFiles/beesim_core.dir/core/network_sim.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/network_sim.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/CMakeFiles/beesim_core.dir/core/orchestrator.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/orchestrator.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/beesim_core.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/beesim_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/beesim_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/CMakeFiles/beesim_core.dir/core/server.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/server.cpp.o.d"
+  "/root/repo/src/core/uncertainty.cpp" "src/CMakeFiles/beesim_core.dir/core/uncertainty.cpp.o" "gcc" "src/CMakeFiles/beesim_core.dir/core/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

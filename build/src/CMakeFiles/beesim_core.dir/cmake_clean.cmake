@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_core.dir/core/allocator.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/allocator.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/client.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/client.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/des_check.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/des_check.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/loss.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/loss.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/network_sim.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/network_sim.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/orchestrator.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/orchestrator.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/placement.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/placement.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/report.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/server.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/server.cpp.o.d"
+  "CMakeFiles/beesim_core.dir/core/uncertainty.cpp.o"
+  "CMakeFiles/beesim_core.dir/core/uncertainty.cpp.o.d"
+  "libbeesim_core.a"
+  "libbeesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

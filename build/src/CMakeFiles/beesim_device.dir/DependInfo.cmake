@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/autonomy.cpp" "src/CMakeFiles/beesim_device.dir/device/autonomy.cpp.o" "gcc" "src/CMakeFiles/beesim_device.dir/device/autonomy.cpp.o.d"
+  "/root/repo/src/device/profiles.cpp" "src/CMakeFiles/beesim_device.dir/device/profiles.cpp.o" "gcc" "src/CMakeFiles/beesim_device.dir/device/profiles.cpp.o.d"
+  "/root/repo/src/device/routine.cpp" "src/CMakeFiles/beesim_device.dir/device/routine.cpp.o" "gcc" "src/CMakeFiles/beesim_device.dir/device/routine.cpp.o.d"
+  "/root/repo/src/device/sim_device.cpp" "src/CMakeFiles/beesim_device.dir/device/sim_device.cpp.o" "gcc" "src/CMakeFiles/beesim_device.dir/device/sim_device.cpp.o.d"
+  "/root/repo/src/device/task.cpp" "src/CMakeFiles/beesim_device.dir/device/task.cpp.o" "gcc" "src/CMakeFiles/beesim_device.dir/device/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

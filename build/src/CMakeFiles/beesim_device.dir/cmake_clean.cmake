@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_device.dir/device/autonomy.cpp.o"
+  "CMakeFiles/beesim_device.dir/device/autonomy.cpp.o.d"
+  "CMakeFiles/beesim_device.dir/device/profiles.cpp.o"
+  "CMakeFiles/beesim_device.dir/device/profiles.cpp.o.d"
+  "CMakeFiles/beesim_device.dir/device/routine.cpp.o"
+  "CMakeFiles/beesim_device.dir/device/routine.cpp.o.d"
+  "CMakeFiles/beesim_device.dir/device/sim_device.cpp.o"
+  "CMakeFiles/beesim_device.dir/device/sim_device.cpp.o.d"
+  "CMakeFiles/beesim_device.dir/device/task.cpp.o"
+  "CMakeFiles/beesim_device.dir/device/task.cpp.o.d"
+  "libbeesim_device.a"
+  "libbeesim_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/features.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/features.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/features.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/matrix.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/matrix.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/matrix.cpp.o.d"
+  "/root/repo/src/dsp/mel.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/mel.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/mel.cpp.o.d"
+  "/root/repo/src/dsp/spectrogram.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/spectrogram.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/stft.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/stft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/beesim_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/beesim_dsp.dir/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_dsp.dir/dsp/features.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/features.cpp.o.d"
+  "CMakeFiles/beesim_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/beesim_dsp.dir/dsp/matrix.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/matrix.cpp.o.d"
+  "CMakeFiles/beesim_dsp.dir/dsp/mel.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/mel.cpp.o.d"
+  "CMakeFiles/beesim_dsp.dir/dsp/spectrogram.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "CMakeFiles/beesim_dsp.dir/dsp/stft.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/stft.cpp.o.d"
+  "CMakeFiles/beesim_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/beesim_dsp.dir/dsp/window.cpp.o.d"
+  "libbeesim_dsp.a"
+  "libbeesim_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/beesim_energy.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/beesim_energy.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/harvest.cpp" "src/CMakeFiles/beesim_energy.dir/energy/harvest.cpp.o" "gcc" "src/CMakeFiles/beesim_energy.dir/energy/harvest.cpp.o.d"
+  "/root/repo/src/energy/meter.cpp" "src/CMakeFiles/beesim_energy.dir/energy/meter.cpp.o" "gcc" "src/CMakeFiles/beesim_energy.dir/energy/meter.cpp.o.d"
+  "/root/repo/src/energy/solar.cpp" "src/CMakeFiles/beesim_energy.dir/energy/solar.cpp.o" "gcc" "src/CMakeFiles/beesim_energy.dir/energy/solar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

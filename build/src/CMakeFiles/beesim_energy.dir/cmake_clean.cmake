@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_energy.dir/energy/battery.cpp.o"
+  "CMakeFiles/beesim_energy.dir/energy/battery.cpp.o.d"
+  "CMakeFiles/beesim_energy.dir/energy/harvest.cpp.o"
+  "CMakeFiles/beesim_energy.dir/energy/harvest.cpp.o.d"
+  "CMakeFiles/beesim_energy.dir/energy/meter.cpp.o"
+  "CMakeFiles/beesim_energy.dir/energy/meter.cpp.o.d"
+  "CMakeFiles/beesim_energy.dir/energy/solar.cpp.o"
+  "CMakeFiles/beesim_energy.dir/energy/solar.cpp.o.d"
+  "libbeesim_energy.a"
+  "libbeesim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hive/adaptive.cpp" "src/CMakeFiles/beesim_hive.dir/hive/adaptive.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/adaptive.cpp.o.d"
+  "/root/repo/src/hive/apiary.cpp" "src/CMakeFiles/beesim_hive.dir/hive/apiary.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/apiary.cpp.o.d"
+  "/root/repo/src/hive/beehive.cpp" "src/CMakeFiles/beesim_hive.dir/hive/beehive.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/beehive.cpp.o.d"
+  "/root/repo/src/hive/colony.cpp" "src/CMakeFiles/beesim_hive.dir/hive/colony.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/colony.cpp.o.d"
+  "/root/repo/src/hive/sensors.cpp" "src/CMakeFiles/beesim_hive.dir/hive/sensors.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/sensors.cpp.o.d"
+  "/root/repo/src/hive/services.cpp" "src/CMakeFiles/beesim_hive.dir/hive/services.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/services.cpp.o.d"
+  "/root/repo/src/hive/weather.cpp" "src/CMakeFiles/beesim_hive.dir/hive/weather.cpp.o" "gcc" "src/CMakeFiles/beesim_hive.dir/hive/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

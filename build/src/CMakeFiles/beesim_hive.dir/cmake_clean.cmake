@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_hive.dir/hive/adaptive.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/adaptive.cpp.o.d"
+  "CMakeFiles/beesim_hive.dir/hive/apiary.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/apiary.cpp.o.d"
+  "CMakeFiles/beesim_hive.dir/hive/beehive.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/beehive.cpp.o.d"
+  "CMakeFiles/beesim_hive.dir/hive/colony.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/colony.cpp.o.d"
+  "CMakeFiles/beesim_hive.dir/hive/sensors.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/sensors.cpp.o.d"
+  "CMakeFiles/beesim_hive.dir/hive/services.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/services.cpp.o.d"
+  "CMakeFiles/beesim_hive.dir/hive/weather.cpp.o"
+  "CMakeFiles/beesim_hive.dir/hive/weather.cpp.o.d"
+  "libbeesim_hive.a"
+  "libbeesim_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

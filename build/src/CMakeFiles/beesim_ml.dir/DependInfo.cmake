@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/costmodel.cpp" "src/CMakeFiles/beesim_ml.dir/ml/costmodel.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/costmodel.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/CMakeFiles/beesim_ml.dir/ml/layers.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/beesim_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/network.cpp" "src/CMakeFiles/beesim_ml.dir/ml/network.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/network.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/beesim_ml.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/CMakeFiles/beesim_ml.dir/ml/svm.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/svm.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/CMakeFiles/beesim_ml.dir/ml/tensor.cpp.o" "gcc" "src/CMakeFiles/beesim_ml.dir/ml/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/beesim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/beesim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

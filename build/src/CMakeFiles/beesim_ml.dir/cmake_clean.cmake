@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_ml.dir/ml/costmodel.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/costmodel.cpp.o.d"
+  "CMakeFiles/beesim_ml.dir/ml/layers.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/layers.cpp.o.d"
+  "CMakeFiles/beesim_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/beesim_ml.dir/ml/network.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/network.cpp.o.d"
+  "CMakeFiles/beesim_ml.dir/ml/serialize.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/serialize.cpp.o.d"
+  "CMakeFiles/beesim_ml.dir/ml/svm.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/svm.cpp.o.d"
+  "CMakeFiles/beesim_ml.dir/ml/tensor.cpp.o"
+  "CMakeFiles/beesim_ml.dir/ml/tensor.cpp.o.d"
+  "libbeesim_ml.a"
+  "libbeesim_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

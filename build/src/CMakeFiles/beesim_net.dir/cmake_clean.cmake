@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_net.dir/net/link.cpp.o"
+  "CMakeFiles/beesim_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/beesim_net.dir/net/payload.cpp.o"
+  "CMakeFiles/beesim_net.dir/net/payload.cpp.o.d"
+  "CMakeFiles/beesim_net.dir/net/retransmit.cpp.o"
+  "CMakeFiles/beesim_net.dir/net/retransmit.cpp.o.d"
+  "libbeesim_net.a"
+  "libbeesim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbeesim_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/beesim_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/beesim_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/beesim_sim.dir/sim/trace.cpp.o.d"
+  "libbeesim_sim.a"
+  "libbeesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

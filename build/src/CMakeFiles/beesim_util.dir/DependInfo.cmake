@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/beesim_util.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/beesim_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/beesim_util.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/beesim_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/beesim_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/beesim_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/beesim_util.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/beesim_util.dir/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

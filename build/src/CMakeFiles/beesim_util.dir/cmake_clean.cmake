@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beesim_util.dir/util/config.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/util/csv.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/util/rng.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/util/stats.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/util/table.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/beesim_util.dir/util/units.cpp.o"
+  "CMakeFiles/beesim_util.dir/util/units.cpp.o.d"
+  "libbeesim_util.a"
+  "libbeesim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beesim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

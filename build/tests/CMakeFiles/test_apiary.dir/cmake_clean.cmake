@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apiary.dir/test_apiary.cpp.o"
+  "CMakeFiles/test_apiary.dir/test_apiary.cpp.o.d"
+  "test_apiary"
+  "test_apiary.pdb"
+  "test_apiary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apiary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_placement.dir/test_core_placement.cpp.o"
+  "CMakeFiles/test_core_placement.dir/test_core_placement.cpp.o.d"
+  "test_core_placement"
+  "test_core_placement.pdb"
+  "test_core_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

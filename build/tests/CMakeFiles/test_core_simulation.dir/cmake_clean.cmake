@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_simulation.dir/test_core_simulation.cpp.o"
+  "CMakeFiles/test_core_simulation.dir/test_core_simulation.cpp.o.d"
+  "test_core_simulation"
+  "test_core_simulation.pdb"
+  "test_core_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/test_dsp.cpp.o"
+  "CMakeFiles/test_dsp.dir/test_dsp.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

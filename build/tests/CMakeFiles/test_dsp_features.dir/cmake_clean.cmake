@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_features.dir/test_dsp_features.cpp.o"
+  "CMakeFiles/test_dsp_features.dir/test_dsp_features.cpp.o.d"
+  "test_dsp_features"
+  "test_dsp_features.pdb"
+  "test_dsp_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hive.dir/test_hive.cpp.o"
+  "CMakeFiles/test_hive.dir/test_hive.cpp.o.d"
+  "test_hive"
+  "test_hive.pdb"
+  "test_hive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orchestrator.dir/test_orchestrator.cpp.o"
+  "CMakeFiles/test_orchestrator.dir/test_orchestrator.cpp.o.d"
+  "test_orchestrator"
+  "test_orchestrator.pdb"
+  "test_orchestrator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

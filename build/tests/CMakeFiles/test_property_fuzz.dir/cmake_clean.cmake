@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_fuzz.dir/test_property_fuzz.cpp.o"
+  "CMakeFiles/test_property_fuzz.dir/test_property_fuzz.cpp.o.d"
+  "test_property_fuzz"
+  "test_property_fuzz.pdb"
+  "test_property_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_services.dir/test_services.cpp.o"
+  "CMakeFiles/test_services.dir/test_services.cpp.o.d"
+  "test_services"
+  "test_services.pdb"
+  "test_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

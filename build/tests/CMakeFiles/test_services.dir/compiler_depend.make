@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_services.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncertainty.dir/test_uncertainty.cpp.o"
+  "CMakeFiles/test_uncertainty.dir/test_uncertainty.cpp.o.d"
+  "test_uncertainty"
+  "test_uncertainty.pdb"
+  "test_uncertainty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
