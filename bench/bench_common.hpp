@@ -1,12 +1,17 @@
 #pragma once
 
 // Shared scaffolding for the reproduction benches: banner printing,
-// paper-vs-measured summary lines, and key=value CLI parsing.
+// paper-vs-measured summary lines, key=value CLI parsing, and the
+// `--metrics-out` observability hook.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "obs/catalog.hpp"
+#include "obs/report.hpp"
 #include "util/config.hpp"
 
 namespace beesim::bench {
@@ -33,11 +38,37 @@ inline void check_line_int(const char* what, long paper, long measured) {
 
 /// Parses key=value args; aborts on unknown keys so typos in sweep
 /// parameters never silently run the default experiment.
+///
+/// `--metrics-out <path>` (or `metrics_out=<path>`) turns the obs layer
+/// on for the whole run and dumps the metrics registry to `path` when the
+/// bench exits (JSON, or CSV when the path ends in .csv) — see
+/// docs/OBSERVABILITY.md. Without the flag instrumentation stays disabled
+/// and the run is bit-identical to an uninstrumented build.
 class Args {
  public:
-  Args(int argc, char** argv) : config_(argc, argv) {}
+  Args(int argc, char** argv) {
+    std::vector<const char*> rest;
+    rest.push_back(argc > 0 ? argv[0] : "bench");
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--metrics-out" && i + 1 < argc) {
+        metrics_out_ = argv[++i];
+        continue;
+      }
+      rest.push_back(argv[i]);
+    }
+    config_ = util::Config(static_cast<int>(rest.size()), rest.data());
+    if (metrics_out_.empty())
+      metrics_out_ = config_.get_string("metrics_out", "");
+    if (!metrics_out_.empty()) {
+      // Pre-register the full catalog so the report always carries every
+      // metric (zeros included) — reports stay diffable across benches.
+      obs::register_catalog(obs::registry());
+      obs::set_enabled(true);
+    }
+  }
 
   util::Config& config() { return config_; }
+  const std::string& metrics_out() const { return metrics_out_; }
 
   ~Args() {
     const auto unused = config_.unused_keys();
@@ -47,10 +78,20 @@ class Args {
       std::fprintf(stderr, "\n");
       std::exit(2);
     }
+    if (!metrics_out_.empty()) {
+      if (obs::write_file(obs::registry(), metrics_out_)) {
+        std::printf("\nMetrics written to %s\n", metrics_out_.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     metrics_out_.c_str());
+        std::exit(2);
+      }
+    }
   }
 
  private:
   util::Config config_;
+  std::string metrics_out_;
 };
 
 }  // namespace beesim::bench

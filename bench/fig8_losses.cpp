@@ -44,8 +44,11 @@ void sweep_panel(const char* panel, const char* title,
               core::to_string(policy));
   util::AsciiTable table({"Clients", "Lost", "Servers", "Edge J/client",
                           "Server J/client", "Total J/client"});
-  const auto results =
-      sim.sweep(core::client_range(lo, hi, step), seed, cycles);
+  std::vector<core::CycleResult> results;
+  {
+    obs::ScopedTimer panel_timer(std::string("bench.fig8.panel_") + panel);
+    results = sim.sweep(core::client_range(lo, hi, step), seed, cycles);
+  }
   for (const auto& r : results) {
     table.add_row({std::to_string(r.initial_clients),
                    std::to_string(r.lost_clients),

@@ -45,8 +45,11 @@ void panel(const char* title, const LossConfig& loss, FillPolicy policy,
                           "Edge+cloud J/client", "Winner"});
   const double sleep_cycle = fleet.client.sleep_cycle_energy();
   int winning_points = 0;
-  const auto results =
-      sim.sweep(core::client_range(lo, hi, step), seed, cycles);
+  std::vector<core::CycleResult> results;
+  {
+    obs::ScopedTimer sweep_timer("bench.fig9.sweep");
+    results = sim.sweep(core::client_range(lo, hi, step), seed, cycles);
+  }
   for (const auto& r : results) {
     // The edge-only fleet suffers the same dropout: lost hives sleep
     // through the cycle, so its per-initial-client cost drops too.

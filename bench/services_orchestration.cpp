@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
     header.push_back("Cloud J/client");
     header.push_back("Servers");
     util::AsciiTable table(header);
+    obs::ScopedTimer regime_timer("bench.services_orchestration.optimize");
     for (int fleet : fleets) {
       core::OrchestratorOptions options;
       options.clients = fleet;

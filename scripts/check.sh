@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 verification + documentation consistency checks.
+#
+# Usage: scripts/check.sh [build-dir]        (default: build)
+#
+# 1. Configure, build and run the full test suite.
+# 2. Docs link-check:
+#    a. every docs/*.md path referenced from README.md exists;
+#    b. every top-level directory under src/ is mentioned in
+#       docs/ARCHITECTURE.md (the paper↔code map must stay complete).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-build}"
+fail=0
+
+echo "== tier-1: configure + build + test =="
+cmake -B "$repo/$build" -S "$repo"
+cmake --build "$repo/$build" -j
+ctest --test-dir "$repo/$build" --output-on-failure -j
+
+echo
+echo "== docs: README-referenced docs/*.md exist =="
+while read -r doc; do
+  if [ -f "$repo/$doc" ]; then
+    echo "  ok  $doc"
+  else
+    echo "  MISSING  $doc (referenced from README.md)"
+    fail=1
+  fi
+done < <(grep -o 'docs/[A-Za-z0-9_.-]*\.md' "$repo/README.md" | sort -u)
+
+echo
+echo "== docs: every src/ module mentioned in docs/ARCHITECTURE.md =="
+for dir in "$repo"/src/*/; do
+  mod="$(basename "$dir")"
+  if grep -q "src/$mod" "$repo/docs/ARCHITECTURE.md" 2>/dev/null; then
+    echo "  ok  src/$mod"
+  else
+    echo "  MISSING  src/$mod (not mentioned in docs/ARCHITECTURE.md)"
+    fail=1
+  fi
+done
+
+echo
+if [ "$fail" -ne 0 ]; then
+  echo "check.sh: FAILED (see MISSING lines above)"
+  exit 1
+fi
+echo "check.sh: all checks passed"

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::core {
 
 const char* to_string(FillPolicy policy) noexcept {
@@ -92,15 +94,43 @@ Allocation spread(int clients, const ServerSpec& spec, bool round_robin) {
 
 }  // namespace
 
+namespace {
+
+void record_allocation(const Allocation& alloc, int clients) {
+  if (!obs::enabled()) return;
+  static auto& calls = obs::registry().counter(obs::metric::kAllocatorCalls);
+  static auto& placed =
+      obs::registry().counter(obs::metric::kAllocatorClientsPlaced);
+  static auto& occupancy = obs::registry().histogram(
+      obs::metric::kAllocatorSlotOccupancy, obs::slot_occupancy_bounds());
+  calls.inc();
+  placed.inc(static_cast<std::uint64_t>(clients));
+  for (const auto& server : alloc.servers)
+    for (int k : server.slot_clients)
+      if (k > 0) occupancy.observe(static_cast<double>(k));
+}
+
+}  // namespace
+
 Allocation allocate(int clients, const ServerSpec& spec, FillPolicy policy) {
   if (clients < 0) throw std::invalid_argument("allocate: negative clients");
   if (clients == 0) return {};
+  Allocation alloc;
   switch (policy) {
-    case FillPolicy::kFillFirst: return fill_first(clients, spec);
-    case FillPolicy::kBalanced: return spread(clients, spec, false);
-    case FillPolicy::kRoundRobin: return spread(clients, spec, true);
+    case FillPolicy::kFillFirst:
+      alloc = fill_first(clients, spec);
+      break;
+    case FillPolicy::kBalanced:
+      alloc = spread(clients, spec, false);
+      break;
+    case FillPolicy::kRoundRobin:
+      alloc = spread(clients, spec, true);
+      break;
+    default:
+      throw std::invalid_argument("allocate: unknown policy");
   }
-  throw std::invalid_argument("allocate: unknown policy");
+  record_allocation(alloc, clients);
+  return alloc;
 }
 
 }  // namespace beesim::core

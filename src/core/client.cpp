@@ -4,6 +4,7 @@
 
 #include "device/calibration.hpp"
 #include "device/routine.hpp"
+#include "obs/catalog.hpp"
 
 namespace beesim::core {
 
@@ -19,6 +20,9 @@ util::Joules ClientSpec::cycle_energy() const {
   const util::Seconds active = active_time();
   if (active > period)
     throw std::logic_error("ClientSpec: actions longer than the period");
+  static auto& evaluations =
+      obs::registry().counter(obs::metric::kClientCycleEvaluations);
+  evaluations.inc();
   return active_energy() + sleep_power * (period - active);
 }
 
@@ -29,6 +33,9 @@ ClientSpec ClientSpec::smart_beehive(Placement placement,
   spec.sleep_power = device::cal::kEdgeSleepPower;
   spec.actions = device::edge_routine(placement, service);
   spec.period = period;
+  static auto& built =
+      obs::registry().counter(obs::metric::kClientSpecsBuilt);
+  built.inc();
   return spec;
 }
 

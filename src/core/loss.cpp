@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::core {
 
 LossConfig LossConfig::only_saturation() noexcept {
@@ -37,6 +39,9 @@ double LossConfig::saturation_factor(int clients_in_slot,
   const int threshold = max_parallel - saturation_slack;
   const int over = clients_in_slot - threshold;
   if (over <= 0) return 1.0;
+  static auto& saturated =
+      obs::registry().counter(obs::metric::kLossSaturatedSlots);
+  saturated.inc();
   return std::pow(1.0 + saturation_penalty, static_cast<double>(over));
 }
 
@@ -45,8 +50,17 @@ int LossConfig::draw_lost_clients(int total_clients, util::Rng& rng) const {
   const double mean = dropout_mean_fraction *
                       static_cast<double>(total_clients);
   const double drawn = rng.normal(mean, dropout_stddev);
-  const auto lost = static_cast<int>(std::lround(drawn));
-  return std::clamp(lost, 0, total_clients);
+  const auto lost =
+      std::clamp(static_cast<int>(std::lround(drawn)), 0, total_clients);
+  if (obs::enabled()) {
+    static auto& draws =
+        obs::registry().counter(obs::metric::kLossDropoutDraws);
+    static auto& clients =
+        obs::registry().counter(obs::metric::kLossDropoutClients);
+    draws.inc();
+    clients.inc(static_cast<std::uint64_t>(lost));
+  }
+  return lost;
 }
 
 }  // namespace beesim::core

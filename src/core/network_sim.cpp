@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::core {
 
 FleetParams FleetParams::paper_default(ServiceModel service,
@@ -78,6 +80,26 @@ CycleResult LargeScaleSimulator::simulate_cycle(int clients,
   for (const auto& load : alloc.servers) {
     result.active_slots += load.active_slots();
     result.cloud_energy += server_energy(load);
+  }
+
+  if (obs::enabled()) {
+    static auto& cycles = obs::registry().counter(obs::metric::kFleetCycles);
+    static auto& edge_requests =
+        obs::registry().counter(obs::metric::kFleetRequestsEdge);
+    static auto& cloud_requests =
+        obs::registry().counter(obs::metric::kFleetRequestsCloud);
+    static auto& dropped =
+        obs::registry().counter(obs::metric::kFleetRequestsDropped);
+    static auto& max_servers =
+        obs::registry().gauge(obs::metric::kFleetMaxServersUsed);
+    cycles.inc();
+    // Every surviving client both runs its edge routine and uploads to a
+    // cloud slot (the Section VI clients are edge+cloud by construction);
+    // dropped requests are the loss-C sleepers.
+    edge_requests.inc(static_cast<std::uint64_t>(surviving));
+    cloud_requests.inc(static_cast<std::uint64_t>(surviving));
+    dropped.inc(static_cast<std::uint64_t>(result.lost_clients));
+    max_servers.update_max(static_cast<double>(result.servers_used));
   }
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include "core/server.hpp"
 #include "device/calibration.hpp"
+#include "obs/catalog.hpp"
 
 namespace beesim::core {
 
@@ -29,6 +30,10 @@ OrchestrationCosts ServiceOrchestrator::evaluate(
         throw std::invalid_argument(
             "ServiceOrchestrator: duplicate service " + plan.service.name);
   }
+
+  static auto& evaluations =
+      obs::registry().counter(obs::metric::kOrchestratorEvaluations);
+  evaluations.inc();
 
   OrchestrationCosts costs;
 
@@ -85,9 +90,13 @@ OrchestrationCosts ServiceOrchestrator::evaluate(
     edge_energy_avg += upload_time_avg * cal::kSendAudioPower;
   }
 
+  static auto& infeasible =
+      obs::registry().counter(obs::metric::kOrchestratorInfeasible);
+
   costs.edge_active_time = edge_time_worst;
   if (edge_time_worst >= options_.cycle) {
     costs.feasible = false;
+    infeasible.inc();
     return costs;
   }
   // Sleep billed on the average cycle.
@@ -113,6 +122,7 @@ OrchestrationCosts ServiceOrchestrator::evaluate(
   worst.cycle = options_.cycle;
   if (worst.planning_slot_duration() > options_.cycle) {
     costs.feasible = false;
+    infeasible.inc();
     return costs;
   }
 
@@ -163,6 +173,16 @@ ServiceOrchestrator::Result ServiceOrchestrator::optimize(
   if (!best.has_value())
     throw std::runtime_error(
         "ServiceOrchestrator: no feasible placement (cycle too short)");
+  if (obs::enabled()) {
+    // The winning assignment's decisions are the interesting ones; the
+    // 2^k candidates scanned on the way are covered by `evaluations`.
+    static auto& edge =
+        obs::registry().counter(obs::metric::kOrchestratorPlacementsEdge);
+    static auto& cloud =
+        obs::registry().counter(obs::metric::kOrchestratorPlacementsCloud);
+    for (const auto& plan : best->plans)
+      (plan.placement == Placement::kEdgeOnly ? edge : cloud).inc();
+  }
   return *best;
 }
 

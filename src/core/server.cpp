@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "device/calibration.hpp"
+#include "obs/catalog.hpp"
 
 namespace beesim::core {
 
@@ -23,6 +24,14 @@ int ServerSpec::slots_per_cycle() const {
   const int slots = static_cast<int>(cycle / slot);
   if (slots < 1)
     throw std::logic_error("ServerSpec: a slot does not fit in the cycle");
+  if (obs::enabled()) {
+    static auto& plans =
+        obs::registry().counter(obs::metric::kServerSlotPlans);
+    static auto& max_slots =
+        obs::registry().gauge(obs::metric::kServerMaxSlotsPerCycle);
+    plans.inc();
+    max_slots.update_max(static_cast<double>(slots));
+  }
   return slots;
 }
 

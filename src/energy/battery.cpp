@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::energy {
 
 Battery::Battery() : Battery(Params{}) {}
@@ -27,6 +29,14 @@ Joules Battery::charge(Joules input) {
   const Joules storable = input * params_.charge_efficiency;
   const Joules stored = std::min(storable, headroom);
   level_ += stored;
+  if (obs::enabled() && stored > 0.0) {
+    static auto& events =
+        obs::registry().counter(obs::metric::kBatteryChargeEvents);
+    static auto& joules =
+        obs::registry().gauge(obs::metric::kBatteryChargeJoules);
+    events.inc();
+    joules.add(stored);
+  }
   // Energy drawn from the source to store `stored`.
   return stored / params_.charge_efficiency;
 }
@@ -34,10 +44,26 @@ Joules Battery::charge(Joules input) {
 Joules Battery::discharge(Joules wanted) {
   if (wanted < 0.0)
     throw std::invalid_argument("Battery::discharge: negative");
+  const bool was_cut_off = cut_off();
   const Joules deliverable = available();
   const Joules delivered = std::min(wanted, deliverable);
   // Clamp: floating-point cancellation must never leave a negative level.
   level_ = std::max(0.0, level_ - delivered / params_.discharge_efficiency);
+  if (obs::enabled()) {
+    static auto& events =
+        obs::registry().counter(obs::metric::kBatteryDischargeEvents);
+    static auto& joules =
+        obs::registry().gauge(obs::metric::kBatteryDischargeJoules);
+    static auto& depletions =
+        obs::registry().counter(obs::metric::kBatteryDepletions);
+    if (delivered > 0.0) {
+      events.inc();
+      joules.add(delivered);
+    }
+    // A depletion is the transition into the protection cutoff — the
+    // brown-out moments of the paper's Fig 2 energy chain.
+    if (!was_cut_off && cut_off()) depletions.inc();
+  }
   return delivered;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::energy {
 
 void EnergyMeter::set_power(sim::SimTime t, Watts watts,
@@ -9,6 +11,9 @@ void EnergyMeter::set_power(sim::SimTime t, Watts watts,
   advance_to(t);
   power_ = watts;
   state_ = state;
+  static auto& changes =
+      obs::registry().counter(obs::metric::kMeterStateChanges);
+  changes.inc();
   if (series_ != nullptr) series_->append(t, watts);
 }
 

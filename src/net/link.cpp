@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::net {
 namespace {
 
@@ -26,6 +28,14 @@ Seconds Link::transfer_time(Bytes bytes, util::Rng& rng) const {
       params_.throughput_floor_mbps,
       rng.normal(params_.throughput_mean_mbps,
                  params_.throughput_stddev_mbps));
+  if (obs::enabled()) {
+    static auto& transfers =
+        obs::registry().counter(obs::metric::kLinkTransfers);
+    static auto& transferred =
+        obs::registry().counter(obs::metric::kLinkBytes);
+    transfers.inc();
+    transferred.inc(static_cast<std::uint64_t>(bytes));
+  }
   const double bits = bytes * 8.0;
   return params_.setup_time + params_.latency +
          bits / (mbps * kBitsPerMegabit);

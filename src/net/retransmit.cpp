@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::net {
 
 RetransmittingLink::RetransmittingLink(Link link, const Params& params)
@@ -47,11 +49,33 @@ RetransmittingLink::TransferResult RetransmittingLink::transfer(
       ++result.retransmissions;
       if (attempts >= params_.max_attempts_per_chunk) {
         result.completed = false;
+        record_transfer(result, bytes);
         return result;
       }
     }
   }
+  record_transfer(result, bytes);
   return result;
+}
+
+void RetransmittingLink::record_transfer(const TransferResult& result,
+                                         Bytes bytes) {
+  if (!obs::enabled()) return;
+  static auto& transfers =
+      obs::registry().counter(obs::metric::kRetransmitTransfers);
+  static auto& chunks =
+      obs::registry().counter(obs::metric::kRetransmitChunks);
+  static auto& retransmissions =
+      obs::registry().counter(obs::metric::kRetransmitRetransmissions);
+  static auto& failures =
+      obs::registry().counter(obs::metric::kRetransmitFailures);
+  static auto& transferred =
+      obs::registry().counter(obs::metric::kRetransmitBytes);
+  transfers.inc();
+  chunks.inc(static_cast<std::uint64_t>(result.chunks));
+  retransmissions.inc(static_cast<std::uint64_t>(result.retransmissions));
+  if (!result.completed) failures.inc();
+  transferred.inc(static_cast<std::uint64_t>(bytes));
 }
 
 Seconds RetransmittingLink::expected_stretch_per_client(Bytes bytes) const {

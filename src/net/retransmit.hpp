@@ -47,6 +47,7 @@ class RetransmittingLink {
 
  private:
   double chunk_loss(int concurrent_clients) const;
+  static void record_transfer(const TransferResult& result, Bytes bytes);
 
   Link link_;
   Params params_;

@@ -1,0 +1,35 @@
+#include "obs/catalog.hpp"
+
+namespace beesim::obs {
+
+std::vector<double> slot_occupancy_bounds() {
+  return Histogram::linear_bounds(0.0, 40.0, 40);
+}
+
+void register_catalog(Registry& reg) {
+  namespace m = metric;
+  for (const char* name :
+       {m::kEngineEventsScheduled, m::kEngineEventsExecuted,
+        m::kEngineEventsCancelled, m::kAllocatorCalls,
+        m::kAllocatorClientsPlaced, m::kOrchestratorEvaluations,
+        m::kOrchestratorInfeasible, m::kOrchestratorPlacementsEdge,
+        m::kOrchestratorPlacementsCloud, m::kFleetCycles,
+        m::kFleetRequestsEdge, m::kFleetRequestsCloud,
+        m::kFleetRequestsDropped, m::kLossSaturatedSlots,
+        m::kLossDropoutDraws, m::kLossDropoutClients, m::kServerSlotPlans,
+        m::kClientSpecsBuilt, m::kClientCycleEvaluations, m::kLinkTransfers,
+        m::kLinkBytes, m::kRetransmitTransfers, m::kRetransmitChunks,
+        m::kRetransmitRetransmissions, m::kRetransmitFailures,
+        m::kRetransmitBytes, m::kBatteryChargeEvents,
+        m::kBatteryDischargeEvents, m::kBatteryDepletions,
+        m::kMeterStateChanges})
+    reg.counter(name);
+  for (const char* name :
+       {m::kEngineMaxQueueDepth, m::kFleetMaxServersUsed,
+        m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
+        m::kBatteryDischargeJoules})
+    reg.gauge(name);
+  reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
+}
+
+}  // namespace beesim::obs

@@ -1,0 +1,106 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace beesim::obs {
+
+/// Canonical names of every built-in instrument, shared between the
+/// instrumentation sites and the run-report so a typo cannot silently
+/// split a metric in two. Naming convention (see docs/OBSERVABILITY.md):
+/// `<module>.<component>.<metric>`, lower snake_case leaves, counters
+/// named after the event they count, gauges after the quantity they hold.
+namespace metric {
+
+// sim::Engine — discrete-event core.
+inline constexpr const char* kEngineEventsScheduled =
+    "sim.engine.events_scheduled";
+inline constexpr const char* kEngineEventsExecuted =
+    "sim.engine.events_executed";
+inline constexpr const char* kEngineEventsCancelled =
+    "sim.engine.events_cancelled";
+inline constexpr const char* kEngineMaxQueueDepth =
+    "sim.engine.max_queue_depth";
+
+// core::allocate — client -> server/slot assignment.
+inline constexpr const char* kAllocatorCalls = "core.allocator.calls";
+inline constexpr const char* kAllocatorClientsPlaced =
+    "core.allocator.clients_placed";
+inline constexpr const char* kAllocatorSlotOccupancy =
+    "core.allocator.slot_occupancy";
+
+// core::ServiceOrchestrator — multi-service placement search.
+inline constexpr const char* kOrchestratorEvaluations =
+    "core.orchestrator.evaluations";
+inline constexpr const char* kOrchestratorInfeasible =
+    "core.orchestrator.infeasible";
+inline constexpr const char* kOrchestratorPlacementsEdge =
+    "core.orchestrator.placements_edge";
+inline constexpr const char* kOrchestratorPlacementsCloud =
+    "core.orchestrator.placements_cloud";
+
+// core::LargeScaleSimulator — fleet wake-up cycles.
+inline constexpr const char* kFleetCycles = "core.fleet.cycles";
+inline constexpr const char* kFleetRequestsEdge =
+    "core.fleet.requests_edge";
+inline constexpr const char* kFleetRequestsCloud =
+    "core.fleet.requests_cloud";
+inline constexpr const char* kFleetRequestsDropped =
+    "core.fleet.requests_dropped";
+inline constexpr const char* kFleetMaxServersUsed =
+    "core.fleet.max_servers_used";
+
+// core::LossConfig — the Section VI loss models.
+inline constexpr const char* kLossSaturatedSlots =
+    "core.loss.saturated_slots";
+inline constexpr const char* kLossDropoutDraws = "core.loss.dropout_draws";
+inline constexpr const char* kLossDropoutClients =
+    "core.loss.dropout_clients";
+
+// core::ServerSpec / core::ClientSpec — capacity planning.
+inline constexpr const char* kServerSlotPlans = "core.server.slot_plans";
+inline constexpr const char* kServerMaxSlotsPerCycle =
+    "core.server.max_slots_per_cycle";
+inline constexpr const char* kClientSpecsBuilt =
+    "core.client.specs_built";
+inline constexpr const char* kClientCycleEvaluations =
+    "core.client.cycle_evaluations";
+
+// net::Link / net::RetransmittingLink.
+inline constexpr const char* kLinkTransfers = "net.link.transfers";
+inline constexpr const char* kLinkBytes = "net.link.bytes";
+inline constexpr const char* kRetransmitTransfers =
+    "net.retransmit.transfers";
+inline constexpr const char* kRetransmitChunks = "net.retransmit.chunks";
+inline constexpr const char* kRetransmitRetransmissions =
+    "net.retransmit.retransmissions";
+inline constexpr const char* kRetransmitFailures =
+    "net.retransmit.failures";
+inline constexpr const char* kRetransmitBytes = "net.retransmit.bytes";
+
+// energy::Battery / energy::EnergyMeter.
+inline constexpr const char* kBatteryChargeEvents =
+    "energy.battery.charge_events";
+inline constexpr const char* kBatteryDischargeEvents =
+    "energy.battery.discharge_events";
+inline constexpr const char* kBatteryChargeJoules =
+    "energy.battery.charge_joules";
+inline constexpr const char* kBatteryDischargeJoules =
+    "energy.battery.discharge_joules";
+inline constexpr const char* kBatteryDepletions =
+    "energy.battery.depletions";
+inline constexpr const char* kMeterStateChanges =
+    "energy.meter.state_changes";
+
+}  // namespace metric
+
+/// Bucket layout of the slot-occupancy histogram: clients per active slot,
+/// 1..40 covers every max_parallel the paper sweeps (10 and 35).
+std::vector<double> slot_occupancy_bounds();
+
+/// Registers every catalog instrument (at zero) so a run-report always
+/// contains the full metric set, including subsystems a given experiment
+/// never touched — readers diff reports without worrying about missing
+/// keys. Instrumentation sites do NOT depend on this being called.
+void register_catalog(Registry& registry);
+
+}  // namespace beesim::obs

@@ -1,0 +1,237 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace beesim::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds not sorted");
+  if (std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("Histogram: duplicate bounds");
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
+  return i < buckets_.size() ? buckets_[i].load(std::memory_order_relaxed)
+                             : 0;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double hi, int n) {
+  if (n < 1 || hi <= lo)
+    throw std::invalid_argument("Histogram::linear_bounds: bad range");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  const double w = (hi - lo) / static_cast<double>(n);
+  for (int i = 1; i <= n; ++i) bounds.push_back(lo + w * i);
+  return bounds;
+}
+
+// ---- Timer ----------------------------------------------------------------
+
+namespace {
+
+void atomic_update_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void Timer::record(double seconds) noexcept {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(seconds, std::memory_order_relaxed);
+  atomic_update_min(min_, seconds);
+  atomic_update_max(max_, seconds);
+}
+
+double Timer::min_seconds() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Timer::max_seconds() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+void Timer::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Timer& timer) {
+  if (enabled()) {
+    timer_ = &timer;
+    start_ns_ = monotonic_ns();
+  }
+}
+
+ScopedTimer::ScopedTimer(const std::string& name)
+    : ScopedTimer(registry().timer(name)) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (timer_ != nullptr)
+    timer_->record(static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+const char* Registry::kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+    case Kind::kTimer: return "timer";
+  }
+  return "?";
+}
+
+Registry::Entry& Registry::entry(const std::string& name, Kind kind,
+                                 std::vector<double>* bounds) {
+  if (name.empty())
+    throw std::invalid_argument("Registry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram:
+        e.histogram = std::make_unique<Histogram>(std::move(*bounds));
+        break;
+      case Kind::kTimer: e.timer = std::make_unique<Timer>(); break;
+    }
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("Registry: '" + name + "' is a " +
+                                kind_name(it->second.kind) + ", not a " +
+                                kind_name(kind));
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *entry(name, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *entry(name, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  return *entry(name, Kind::kHistogram, &upper_bounds).histogram;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  return *entry(name, Kind::kTimer, nullptr).timer;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace(name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace(name, e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        Snapshot::HistogramData h;
+        h.bounds = e.histogram->bounds();
+        h.bucket_counts.reserve(h.bounds.size() + 1);
+        for (std::size_t i = 0; i <= h.bounds.size(); ++i)
+          h.bucket_counts.push_back(e.histogram->bucket_count(i));
+        h.count = e.histogram->count();
+        h.sum = e.histogram->sum();
+        snap.histograms.emplace(name, std::move(h));
+        break;
+      }
+      case Kind::kTimer: {
+        Snapshot::TimerData t;
+        t.count = e.timer->count();
+        t.total_seconds = e.timer->total_seconds();
+        t.min_seconds = e.timer->min_seconds();
+        t.max_seconds = e.timer->max_seconds();
+        t.mean_seconds = e.timer->mean_seconds();
+        snap.timers.emplace(name, t);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->reset(); break;
+      case Kind::kGauge: e.gauge->reset(); break;
+      case Kind::kHistogram: e.histogram->reset(); break;
+      case Kind::kTimer: e.timer->reset(); break;
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace beesim::obs

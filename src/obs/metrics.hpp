@@ -1,0 +1,205 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace beesim::obs {
+
+/// Global instrumentation toggle. Every mutating instrument call is gated
+/// on this flag, so with metrics disabled (the default) an instrumented
+/// hot path costs one relaxed atomic load and a predictable branch —
+/// nothing is allocated, counted, or timed, and simulation results are
+/// bit-identical either way (property-tested in test_obs).
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event count (events executed, packets sent, ...). Increments
+/// are relaxed atomics: safe under util::parallel_for, no ordering implied.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written or accumulated double (queue depth, joules). `set` is
+/// last-writer-wins, `add` accumulates, `update_max` keeps a running
+/// maximum — all lock-free.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double v) noexcept {
+    if (enabled()) value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  void update_max(double v) noexcept {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: one count per upper bound (inclusive) plus an
+/// overflow bucket, with total count and sum. Bounds are fixed at
+/// registration so concurrent observes never allocate.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Count in bucket i (<= bounds()[i]); i == bounds().size() is overflow.
+  std::uint64_t bucket_count(std::size_t i) const noexcept;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+  /// Evenly spaced bounds {lo+w, lo+2w, ..., hi}; the default when a call
+  /// site does not care about bucket placement.
+  static std::vector<double> linear_bounds(double lo, double hi, int n);
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Wall-clock accumulator for a named code region: invocation count,
+/// total/min/max seconds. Fed by ScopedTimer.
+class Timer {
+ public:
+  void record(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  double min_seconds() const noexcept;  // 0 when never recorded
+  double max_seconds() const noexcept;
+  double mean_seconds() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> total_{0.0};
+  // +infinity = "never recorded"; min_seconds() maps it back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// RAII profiling hook: measures the enclosing scope's wall-clock time
+/// into a Timer. When metrics are disabled the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer);
+  /// Convenience: resolves `name` in the default registry().
+  explicit ScopedTimer(const std::string& name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_ = nullptr;  // null when disarmed (metrics disabled)
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Named instrument store. Registration (first lookup of a name) takes a
+/// mutex; the returned references are stable for the registry's lifetime,
+/// so hot paths cache them in function-local statics and never lock again.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds are fixed on first registration; later lookups of the same
+  /// name ignore `upper_bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+  Timer& timer(const std::string& name);
+
+  enum class Kind { kCounter, kGauge, kHistogram, kTimer };
+  static const char* kind_name(Kind kind) noexcept;
+
+  /// Point-in-time copy of every instrument, sorted by name — the input
+  /// to the JSON/CSV serializers (obs/report.hpp).
+  struct Snapshot {
+    struct HistogramData {
+      std::vector<double> bounds;
+      std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1
+      std::uint64_t count = 0;
+      double sum = 0.0;
+    };
+    struct TimerData {
+      std::uint64_t count = 0;
+      double total_seconds = 0.0;
+      double min_seconds = 0.0;
+      double max_seconds = 0.0;
+      double mean_seconds = 0.0;
+    };
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+    std::map<std::string, TimerData> timers;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument; registrations (names, bounds) are kept.
+  void reset_values();
+
+ private:
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Timer> timer;
+  };
+  Entry& entry(const std::string& name, Kind kind,
+               std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The process-wide registry every built-in instrumentation site uses.
+Registry& registry();
+
+}  // namespace beesim::obs

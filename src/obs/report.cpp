@@ -1,0 +1,143 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace beesim::obs {
+
+namespace {
+
+// Shortest representation that round-trips a double (JSON has no inf/nan,
+// but no instrument can produce either: sums of finite samples only).
+// Integral values print without an exponent so bucket labels and joule
+// totals stay human-readable ("10", not "1e+01").
+std::string num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == v) return probe;
+  }
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+template <typename Map, typename Fn>
+void json_object(std::ostream& out, const char* key, const Map& map,
+                 Fn&& value, bool trailing_comma) {
+  out << "  " << quote(key) << ": {";
+  bool first = true;
+  for (const auto& [name, data] : map) {
+    out << (first ? "\n" : ",\n") << "    " << quote(name) << ": ";
+    value(data);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}" << (trailing_comma ? "," : "")
+      << "\n";
+}
+
+}  // namespace
+
+void write_json(const Registry::Snapshot& snap, std::ostream& out) {
+  out << "{\n";
+  json_object(out, "counters", snap.counters,
+              [&](std::uint64_t v) { out << v; }, true);
+  json_object(out, "gauges", snap.gauges,
+              [&](double v) { out << num(v); }, true);
+  json_object(
+      out, "timers", snap.timers,
+      [&](const Registry::Snapshot::TimerData& t) {
+        out << "{\"count\": " << t.count << ", \"total_s\": "
+            << num(t.total_seconds) << ", \"min_s\": " << num(t.min_seconds)
+            << ", \"max_s\": " << num(t.max_seconds)
+            << ", \"mean_s\": " << num(t.mean_seconds) << "}";
+      },
+      true);
+  json_object(
+      out, "histograms", snap.histograms,
+      [&](const Registry::Snapshot::HistogramData& h) {
+        out << "{\"count\": " << h.count << ", \"sum\": " << num(h.sum)
+            << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i)
+          out << (i == 0 ? "" : ", ") << "{\"le\": " << num(h.bounds[i])
+              << ", \"count\": " << h.bucket_counts[i] << "}";
+        out << "], \"overflow\": " << h.bucket_counts[h.bounds.size()]
+            << "}";
+      },
+      false);
+  out << "}\n";
+}
+
+std::string to_json(const Registry& registry) {
+  std::ostringstream out;
+  write_json(registry.snapshot(), out);
+  return out.str();
+}
+
+void write_csv(const Registry::Snapshot& snap, std::ostream& out) {
+  // Metric names are dotted identifiers and field labels are fixed, so no
+  // CSV quoting is ever needed.
+  out << "kind,name,field,value\n";
+  for (const auto& [name, v] : snap.counters)
+    out << "counter," << name << ",value," << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    out << "gauge," << name << ",value," << num(v) << "\n";
+  for (const auto& [name, t] : snap.timers) {
+    out << "timer," << name << ",count," << t.count << "\n";
+    out << "timer," << name << ",total_s," << num(t.total_seconds) << "\n";
+    out << "timer," << name << ",min_s," << num(t.min_seconds) << "\n";
+    out << "timer," << name << ",max_s," << num(t.max_seconds) << "\n";
+    out << "timer," << name << ",mean_s," << num(t.mean_seconds) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "histogram," << name << ",count," << h.count << "\n";
+    out << "histogram," << name << ",sum," << num(h.sum) << "\n";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      out << "histogram," << name << ",le:" << num(h.bounds[i]) << ","
+          << h.bucket_counts[i] << "\n";
+    out << "histogram," << name << ",overflow,"
+        << h.bucket_counts[h.bounds.size()] << "\n";
+  }
+}
+
+std::string to_csv(const Registry& registry) {
+  std::ostringstream out;
+  write_csv(registry.snapshot(), out);
+  return out.str();
+}
+
+bool write_file(const Registry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto snap = registry.snapshot();
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv)
+    write_csv(snap, out);
+  else
+    write_json(snap, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace beesim::obs

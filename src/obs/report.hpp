@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace beesim::obs {
+
+/// Structured run-report: serializes a whole registry so a run's
+/// instrumentation rides alongside its trace/CSV output and can be diffed
+/// across commits (the BENCH_*.json perf trajectory).
+
+/// JSON object with one section per instrument kind:
+///   {"counters": {name: n, ...},
+///    "gauges": {name: x, ...},
+///    "timers": {name: {"count": n, "total_s": x, "min_s": x, "max_s": x,
+///                      "mean_s": x}, ...},
+///    "histograms": {name: {"count": n, "sum": x,
+///                          "buckets": [{"le": bound, "count": n}, ...],
+///                          "overflow": n}, ...}}
+void write_json(const Registry::Snapshot& snapshot, std::ostream& out);
+std::string to_json(const Registry& registry);
+
+/// Flat CSV, one row per scalar field:
+///   kind,name,field,value
+/// Counters/gauges use field "value"; timers one row per statistic;
+/// histogram buckets use field "le:<bound>" (and "overflow").
+void write_csv(const Registry::Snapshot& snapshot, std::ostream& out);
+std::string to_csv(const Registry& registry);
+
+/// Writes the registry to `path`, picking the format from the extension
+/// (".csv" -> CSV, anything else -> JSON). Returns false when the file
+/// cannot be opened.
+bool write_file(const Registry& registry, const std::string& path);
+
+}  // namespace beesim::obs

@@ -2,7 +2,32 @@
 
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::sim {
+
+// Instrument references are resolved once (function-local statics) so the
+// hot path never touches the registry lock; every mutation is gated on
+// obs::enabled() inside the instrument, keeping disabled runs unchanged.
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& scheduled =
+      obs::registry().counter(obs::metric::kEngineEventsScheduled);
+  obs::Counter& executed =
+      obs::registry().counter(obs::metric::kEngineEventsExecuted);
+  obs::Counter& cancelled =
+      obs::registry().counter(obs::metric::kEngineEventsCancelled);
+  obs::Gauge& max_queue_depth =
+      obs::registry().gauge(obs::metric::kEngineMaxQueueDepth);
+
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 EventId Engine::schedule_at(SimTime at, Callback fn) {
   if (at < now_)
@@ -11,6 +36,10 @@ EventId Engine::schedule_at(SimTime at, Callback fn) {
   const EventId id = next_id_++;
   queue_.push({at, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
+  auto& metrics = EngineMetrics::get();
+  metrics.scheduled.inc();
+  metrics.max_queue_depth.update_max(
+      static_cast<double>(callbacks_.size()));
   return id;
 }
 
@@ -21,7 +50,9 @@ EventId Engine::schedule_after(SimTime delay, Callback fn) {
 }
 
 bool Engine::cancel(EventId id) {
-  return callbacks_.erase(id) != 0;
+  const bool cancelled = callbacks_.erase(id) != 0;
+  if (cancelled) EngineMetrics::get().cancelled.inc();
+  return cancelled;
 }
 
 bool Engine::pop_next(Scheduled& out) {
@@ -53,6 +84,7 @@ void Engine::run_until(SimTime until) {
     callbacks_.erase(it);
     now_ = next.at;
     ++executed_;
+    EngineMetrics::get().executed.inc();
     fn(*this);
   }
   now_ = until;
@@ -66,6 +98,7 @@ void Engine::run() {
     callbacks_.erase(it);
     now_ = next.at;
     ++executed_;
+    EngineMetrics::get().executed.inc();
     fn(*this);
   }
 }
