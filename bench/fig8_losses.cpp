@@ -9,7 +9,7 @@
 //
 // Usage: fig8_losses [lo=10] [hi=400] [step=10] [parallel=10] [seed=7]
 //                    [cycles_per_point=5] [policy=fill-first|balanced]
-//                    [csv=path]
+//                    [threads=0] [csv=path]
 
 #include <cstdio>
 #include <fstream>
@@ -38,20 +38,21 @@ core::FleetParams fleet_with(const LossConfig& loss, int parallel,
 void sweep_panel(const char* panel, const char* title,
                  const LossConfig& loss, int parallel, FillPolicy policy,
                  int lo, int hi, int step, std::uint64_t seed, int cycles,
-                 util::CsvWriter* csv) {
+                 unsigned threads, util::CsvWriter* csv) {
   core::LargeScaleSimulator sim(fleet_with(loss, parallel, policy));
   std::printf("\n--- Fig %s: %s (policy: %s) ---\n\n", panel, title,
               core::to_string(policy));
   util::AsciiTable table({"Clients", "Lost", "Servers", "Edge J/client",
                           "Server J/client", "Total J/client"});
-  std::vector<core::CycleResult> results;
+  std::vector<core::SweepPoint> results;
   {
     obs::ScopedTimer panel_timer(std::string("bench.fig8.panel_") + panel);
-    results = sim.sweep(core::client_range(lo, hi, step), seed, cycles);
+    results =
+        sim.sweep(core::client_range(lo, hi, step), seed, cycles, threads);
   }
   for (const auto& r : results) {
     table.add_row({std::to_string(r.initial_clients),
-                   std::to_string(r.lost_clients),
+                   std::to_string(r.lost_clients_display()),
                    std::to_string(r.servers_used),
                    util::AsciiTable::num(r.edge_per_client(), 1),
                    util::AsciiTable::num(r.cloud_per_client(), 1),
@@ -59,7 +60,7 @@ void sweep_panel(const char* panel, const char* title,
     if (csv != nullptr) {
       csv->field(std::string(panel))
           .field(static_cast<std::size_t>(r.initial_clients))
-          .field(static_cast<std::size_t>(r.lost_clients))
+          .field(r.lost_clients.mean())
           .field(static_cast<std::size_t>(r.servers_used))
           .field(r.edge_per_client())
           .field(r.cloud_per_client());
@@ -86,6 +87,8 @@ int main(int argc, char** argv) {
       args.config().get_string("policy", "fill-first") == "balanced"
           ? FillPolicy::kBalanced
           : FillPolicy::kFillFirst;
+  const auto threads =
+      static_cast<unsigned>(args.config().get_int("threads", 0));
   const std::string csv_path = args.config().get_string("csv", "");
 
   bench::banner("Fig 8", "large-scale simulation with losses");
@@ -102,15 +105,15 @@ int main(int argc, char** argv) {
 
   sweep_panel("8a", "slot-saturation penalty (loss A)",
               LossConfig::only_saturation(), parallel, policy, lo, hi, step,
-              seed, 1, csv_ptr);
+              seed, 1, threads, csv_ptr);
   sweep_panel("8b", "+1.5 s transfer per client (loss B)",
               LossConfig::only_transfer_stretch(), parallel, policy, lo, hi,
-              step, seed, 1, csv_ptr);
+              step, seed, 1, threads, csv_ptr);
   sweep_panel("8c", "Gaussian client dropout (loss C)",
               LossConfig::only_dropout(), parallel, policy, lo, hi, step,
-              seed, cycles, csv_ptr);
+              seed, cycles, threads, csv_ptr);
   sweep_panel("8d", "all losses combined", LossConfig::all(), parallel,
-              policy, lo, hi, step, seed, cycles, csv_ptr);
+              policy, lo, hi, step, seed, cycles, threads, csv_ptr);
 
   // Anchors.
   std::printf("\nFig 8 anchors (10 clients per slot, CNN service):\n");

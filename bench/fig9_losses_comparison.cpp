@@ -14,6 +14,7 @@
 //
 // Usage: fig9_losses_comparison [lo=100] [hi=2000] [step=100] [seed=11]
 //                               [parallel=35] [cycles_per_point=5]
+//                               [threads=0]
 
 #include <cstdio>
 
@@ -30,7 +31,7 @@ namespace {
 
 void panel(const char* title, const LossConfig& loss, FillPolicy policy,
            int parallel, int lo, int hi, int step, std::uint64_t seed,
-           int cycles) {
+           int cycles, unsigned threads) {
   core::FleetParams fleet =
       core::FleetParams::paper_default(core::ServiceModel::kCnn, parallel);
   fleet.loss = loss;
@@ -45,18 +46,19 @@ void panel(const char* title, const LossConfig& loss, FillPolicy policy,
                           "Edge+cloud J/client", "Winner"});
   const double sleep_cycle = fleet.client.sleep_cycle_energy();
   int winning_points = 0;
-  std::vector<core::CycleResult> results;
+  std::vector<core::SweepPoint> results;
   {
     obs::ScopedTimer sweep_timer("bench.fig9.sweep");
-    results = sim.sweep(core::client_range(lo, hi, step), seed, cycles);
+    results =
+        sim.sweep(core::client_range(lo, hi, step), seed, cycles, threads);
   }
   for (const auto& r : results) {
     // The edge-only fleet suffers the same dropout: lost hives sleep
     // through the cycle, so its per-initial-client cost drops too.
     const double edge_only_eff =
         r.initial_clients > 0
-            ? (static_cast<double>(r.surviving_clients()) * edge_only +
-               static_cast<double>(r.lost_clients) * sleep_cycle) /
+            ? (r.mean_surviving() * edge_only +
+               r.lost_clients.mean() * sleep_cycle) /
                   static_cast<double>(r.initial_clients)
             : edge_only;
     const bool wins = r.total_per_client() < edge_only_eff;
@@ -85,18 +87,21 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.config().get_int("seed", 11));
   const int cycles =
       static_cast<int>(args.config().get_int("cycles_per_point", 5));
+  const auto threads =
+      static_cast<unsigned>(args.config().get_int("threads", 0));
 
   bench::banner("Fig 9", "scenario comparison with losses, 35 per slot");
 
   LossConfig saturation = LossConfig::only_saturation();
   panel("Fig 9 variant 1: saturation loss, paper's allocator", saturation,
-        FillPolicy::kFillFirst, parallel, lo, hi, step, seed, 1);
+        FillPolicy::kFillFirst, parallel, lo, hi, step, seed, 1, threads);
   panel("Fig 9 variant 2: saturation loss, balanced allocator", saturation,
-        FillPolicy::kBalanced, parallel, lo, hi, step, seed, 1);
+        FillPolicy::kBalanced, parallel, lo, hi, step, seed, 1, threads);
   LossConfig all = LossConfig::all();
   all.transfer_stretch = false;  // see header note / EXPERIMENTS.md
   panel("Fig 9 variant 3: saturation + dropout (averaged cycles)", all,
-        FillPolicy::kBalanced, parallel, lo, hi, step, seed, cycles);
+        FillPolicy::kBalanced, parallel, lo, hi, step, seed, cycles,
+        threads);
 
   // Paper's sizing example: 3 servers for 1600-1750 clients.
   core::FleetParams fleet =

@@ -1,0 +1,164 @@
+// Scaling bench for the Section VI simulator: how far past the paper's
+// 400-hive sweeps the compact (occupancy-histogram) allocation path can
+// push one fleet cycle. Phase 1 times a single ideal cycle at the top
+// fleet size; phase 2 runs a Monte-Carlo sweep (all loss models) over a
+// log-spaced fleet-size ladder and reports throughput in hives/sec.
+//
+// With `--metrics-out` the run also records the sweep under the
+// `bench.scale_fleet.sweep` timer and publishes the measured throughput
+// as the `bench.scale_fleet.hives_per_sec` gauge.
+//
+// Usage: scale_fleet [lo=1000] [hi=1000000] [points=10] [cycles=30]
+//                    [threads=0] [seed=42] [parallel=10]
+//                    [policy=fill-first|balanced] [csv=path]
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/network_sim.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Log-spaced fleet sizes {lo, ..., hi}, deduplicated and sorted; `hi`
+/// is always the last rung.
+std::vector<int> log_ladder(int lo, int hi, int points) {
+  std::vector<int> out;
+  if (points <= 1 || lo >= hi) {
+    out.push_back(hi);
+    return out;
+  }
+  const double ratio = static_cast<double>(hi) / static_cast<double>(lo);
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(static_cast<int>(
+        std::lround(static_cast<double>(lo) * std::pow(ratio, t))));
+  }
+  out.back() = hi;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int lo = static_cast<int>(args.config().get_int("lo", 1000));
+  const int hi = static_cast<int>(args.config().get_int("hi", 1000000));
+  const int points = static_cast<int>(args.config().get_int("points", 10));
+  const int cycles = static_cast<int>(args.config().get_int("cycles", 30));
+  const auto threads =
+      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto seed =
+      static_cast<std::uint64_t>(args.config().get_int("seed", 42));
+  const int parallel =
+      static_cast<int>(args.config().get_int("parallel", 10));
+  const core::FillPolicy policy =
+      args.config().get_string("policy", "fill-first") == "balanced"
+          ? core::FillPolicy::kBalanced
+          : core::FillPolicy::kFillFirst;
+  const std::string csv_path = args.config().get_string("csv", "");
+  if (lo < 1 || hi < lo || points < 1 || cycles < 1) {
+    std::fprintf(stderr, "error: need 1 <= lo <= hi, points >= 1, "
+                         "cycles >= 1\n");
+    return 2;
+  }
+
+  bench::banner("Scale", "fleet simulator throughput, compact allocation");
+
+  core::FleetParams fleet =
+      core::FleetParams::paper_default(core::ServiceModel::kCnn, parallel);
+  fleet.policy = policy;
+  fleet.loss = core::LossConfig::all();
+  core::LargeScaleSimulator sim(fleet);
+
+  // Phase 1: one ideal (loss-free) cycle at the top fleet size. The
+  // compact path makes this O(1) in the fleet size, so even a million
+  // hives should come back in well under a second.
+  {
+    const auto start = Clock::now();
+    const auto full = sim.simulate_ideal_cycle(hi);
+    const double elapsed = seconds_since(start);
+    std::printf("\nIdeal cycle at %d hives: %d servers, %.1f J/client, "
+                "%.3f ms\n",
+                hi, full.servers_used, full.total_per_client(),
+                elapsed * 1e3);
+  }
+
+  // Phase 2: Monte-Carlo sweep (all losses) over the log ladder.
+  const std::vector<int> ladder = log_ladder(lo, hi, points);
+  std::printf("\nMonte-Carlo sweep: %zu fleet sizes x %d cycles "
+              "(policy: %s, threads=%u)\n\n",
+              ladder.size(), cycles, core::to_string(policy), threads);
+
+  std::vector<core::SweepPoint> results;
+  const auto start = Clock::now();
+  {
+    obs::ScopedTimer sweep_timer("bench.scale_fleet.sweep");
+    results = sim.sweep(ladder, seed, cycles, threads);
+  }
+  const double elapsed = seconds_since(start);
+
+  util::AsciiTable table({"Hives", "Servers", "Lost", "Total J/client",
+                          "ci95"});
+  double simulated_hives = 0.0;
+  for (const auto& r : results) {
+    simulated_hives += static_cast<double>(r.initial_clients) *
+                       static_cast<double>(r.cycles);
+    table.add_row({std::to_string(r.initial_clients),
+                   std::to_string(r.servers_used),
+                   std::to_string(r.lost_clients_display()),
+                   util::AsciiTable::num(r.total_per_client(), 1),
+                   util::AsciiTable::num(r.total_per_client_ci95(), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double hives_per_sec =
+      elapsed > 0.0 ? simulated_hives / elapsed : 0.0;
+  const double total_cycles =
+      static_cast<double>(ladder.size()) * static_cast<double>(cycles);
+  std::printf("\n  %.0f hive-cycles in %.2f s: %.3g hives/sec, "
+              "%.1f cycles/sec\n",
+              simulated_hives, elapsed, hives_per_sec,
+              elapsed > 0.0 ? total_cycles / elapsed : 0.0);
+  if (obs::enabled())
+    obs::registry().gauge("bench.scale_fleet.hives_per_sec")
+        .set(hives_per_sec);
+
+  if (!csv_path.empty()) {
+    // Deterministic output (no timings): used by scripts/check.sh to
+    // prove thread-count invariance by byte comparison.
+    std::ofstream csv_file(csv_path);
+    util::CsvWriter csv(csv_file);
+    csv.header({"clients", "servers", "lost_mean", "edge_per_client",
+                "server_per_client", "total_per_client", "total_stddev",
+                "total_ci95"});
+    for (const auto& r : results) {
+      csv.field(static_cast<std::size_t>(r.initial_clients))
+          .field(static_cast<std::size_t>(r.servers_used))
+          .field(r.lost_clients.mean())
+          .field(r.edge_per_client())
+          .field(r.cloud_per_client())
+          .field(r.total_per_client())
+          .field(r.total_energy.sample_stddev())
+          .field(r.total_per_client_ci95());
+      csv.end_row();
+    }
+    std::printf("  Series written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -20,6 +20,22 @@ cmake --build "$repo/$build" -j
 ctest --test-dir "$repo/$build" --output-on-failure -j
 
 echo
+echo "== scale_fleet: smoke + thread-count invariance =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$repo/$build/bench/scale_fleet" lo=500 hi=20000 points=4 cycles=3 \
+  threads=1 csv="$tmp/t1.csv"
+"$repo/$build/bench/scale_fleet" lo=500 hi=20000 points=4 cycles=3 \
+  threads=4 csv="$tmp/t4.csv"
+if cmp -s "$tmp/t1.csv" "$tmp/t4.csv"; then
+  echo "  ok  sweep CSV bit-identical for threads=1 and threads=4"
+else
+  echo "  MISMATCH  sweep results depend on the thread count"
+  diff "$tmp/t1.csv" "$tmp/t4.csv" || true
+  fail=1
+fi
+
+echo
 echo "== docs: README-referenced docs/*.md exist =="
 while read -r doc; do
   if [ -f "$repo/$doc" ]; then

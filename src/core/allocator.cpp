@@ -51,50 +51,34 @@ Allocation fill_first(int clients, const ServerSpec& spec) {
   return alloc;
 }
 
-Allocation spread(int clients, const ServerSpec& spec, bool round_robin) {
+/// Both spread policies land on the same occupancy: slot j (in
+/// server-major order) holds base+1 clients if j < extra, else base.
+/// kBalanced assigns that directly; kRoundRobin deals one client at a
+/// time, which after `base` full passes leaves the first `extra` slots
+/// one ahead — the identical layout. So one arithmetic fill serves both,
+/// replacing the old O(clients × slots) dealing loop.
+Allocation spread(int clients, const ServerSpec& spec) {
   Allocation alloc;
   const int slots = spec.slots_per_cycle();
-  const int capacity = spec.capacity();
+  const int capacity = slots * spec.max_parallel;
   const int servers = (clients + capacity - 1) / capacity;
+  const auto total_slots =
+      static_cast<std::int64_t>(servers) * static_cast<std::int64_t>(slots);
+  const int base = static_cast<int>(clients / total_slots);
+  const auto extra = clients % total_slots;
+  if (base + (extra > 0 ? 1 : 0) > spec.max_parallel)
+    throw std::logic_error("allocate: balanced overflow");
   alloc.servers.resize(static_cast<std::size_t>(servers));
-  for (auto& s : alloc.servers)
-    s.slot_clients.assign(static_cast<std::size_t>(slots), 0);
-
-  if (round_robin) {
-    // Deal one client at a time over every slot of every server.
-    int placed = 0;
-    while (placed < clients) {
-      for (auto& server : alloc.servers) {
-        for (auto& slot : server.slot_clients) {
-          if (placed == clients) return alloc;
-          if (slot < spec.max_parallel) {
-            ++slot;
-            ++placed;
-          }
-        }
-      }
-    }
-    return alloc;
-  }
-
-  // Balanced: equal share per slot (within one client).
-  const int total_slots = servers * slots;
-  const int base = clients / total_slots;
-  int extra = clients % total_slots;
+  std::int64_t index = 0;
   for (auto& server : alloc.servers) {
+    server.slot_clients.resize(static_cast<std::size_t>(slots));
     for (auto& slot : server.slot_clients) {
-      slot = base + (extra > 0 ? 1 : 0);
-      if (extra > 0) --extra;
-      if (slot > spec.max_parallel)
-        throw std::logic_error("allocate: balanced overflow");
+      slot = base + (index < extra ? 1 : 0);
+      ++index;
     }
   }
   return alloc;
 }
-
-}  // namespace
-
-namespace {
 
 void record_allocation(const Allocation& alloc, int clients) {
   if (!obs::enabled()) return;
@@ -110,6 +94,26 @@ void record_allocation(const Allocation& alloc, int clients) {
       if (k > 0) occupancy.observe(static_cast<double>(k));
 }
 
+void record_allocation(const CompactAllocation& alloc, int clients) {
+  if (!obs::enabled()) return;
+  static auto& calls = obs::registry().counter(obs::metric::kAllocatorCalls);
+  static auto& fast_path =
+      obs::registry().counter(obs::metric::kAllocatorCompactCalls);
+  static auto& placed =
+      obs::registry().counter(obs::metric::kAllocatorClientsPlaced);
+  static auto& occupancy = obs::registry().histogram(
+      obs::metric::kAllocatorSlotOccupancy, obs::slot_occupancy_bounds());
+  calls.inc();
+  fast_path.inc();
+  placed.inc(static_cast<std::uint64_t>(clients));
+  for (const auto& cls : alloc.classes)
+    for (const auto& band : cls.bands)
+      if (band.clients_per_slot > 0)
+        occupancy.observe(static_cast<double>(band.clients_per_slot),
+                          static_cast<std::uint64_t>(band.slots) *
+                              static_cast<std::uint64_t>(cls.servers));
+}
+
 }  // namespace
 
 Allocation allocate(int clients, const ServerSpec& spec, FillPolicy policy) {
@@ -121,10 +125,131 @@ Allocation allocate(int clients, const ServerSpec& spec, FillPolicy policy) {
       alloc = fill_first(clients, spec);
       break;
     case FillPolicy::kBalanced:
-      alloc = spread(clients, spec, false);
-      break;
     case FillPolicy::kRoundRobin:
-      alloc = spread(clients, spec, true);
+      alloc = spread(clients, spec);
+      break;
+    default:
+      throw std::invalid_argument("allocate: unknown policy");
+  }
+  record_allocation(alloc, clients);
+  return alloc;
+}
+
+// ------------------------------------------------------ CompactAllocation
+
+int CompactAllocation::ServerClass::active_slots_per_server() const noexcept {
+  int active = 0;
+  for (const auto& band : bands)
+    if (band.clients_per_slot > 0) active += band.slots;
+  return active;
+}
+
+std::int64_t CompactAllocation::ServerClass::clients_per_server()
+    const noexcept {
+  std::int64_t total = 0;
+  for (const auto& band : bands)
+    total += static_cast<std::int64_t>(band.clients_per_slot) * band.slots;
+  return total;
+}
+
+std::int64_t CompactAllocation::servers_used() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& cls : classes) total += cls.servers;
+  return total;
+}
+
+std::int64_t CompactAllocation::total_clients() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& cls : classes)
+    total += cls.servers * cls.clients_per_server();
+  return total;
+}
+
+std::int64_t CompactAllocation::active_slots() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& cls : classes)
+    total += cls.servers * cls.active_slots_per_server();
+  return total;
+}
+
+Allocation CompactAllocation::expand() const {
+  Allocation out;
+  out.servers.reserve(static_cast<std::size_t>(servers_used()));
+  for (const auto& cls : classes) {
+    for (std::int64_t s = 0; s < cls.servers; ++s) {
+      Allocation::ServerLoad load;
+      for (const auto& band : cls.bands)
+        load.slot_clients.insert(load.slot_clients.end(),
+                                 static_cast<std::size_t>(band.slots),
+                                 band.clients_per_slot);
+      out.servers.push_back(std::move(load));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+CompactAllocation compact_fill_first(int clients, const ServerSpec& spec) {
+  CompactAllocation alloc;
+  const int slots = spec.slots_per_cycle();
+  const int m = spec.max_parallel;
+  const int capacity = slots * m;
+  const int full_servers = clients / capacity;
+  const int remainder = clients % capacity;
+  if (full_servers > 0)
+    alloc.classes.push_back({full_servers, {{m, slots}}});
+  if (remainder > 0) {
+    CompactAllocation::ServerClass last{1, {}};
+    if (remainder / m > 0) last.bands.push_back({m, remainder / m});
+    if (remainder % m > 0) last.bands.push_back({remainder % m, 1});
+    alloc.classes.push_back(std::move(last));
+  }
+  return alloc;
+}
+
+CompactAllocation compact_spread(int clients, const ServerSpec& spec) {
+  CompactAllocation alloc;
+  const int slots = spec.slots_per_cycle();
+  const int capacity = slots * spec.max_parallel;
+  const int servers = (clients + capacity - 1) / capacity;
+  const auto total_slots =
+      static_cast<std::int64_t>(servers) * static_cast<std::int64_t>(slots);
+  const int base = static_cast<int>(clients / total_slots);
+  const auto extra = clients % total_slots;
+  if (base + (extra > 0 ? 1 : 0) > spec.max_parallel)
+    throw std::logic_error("allocate: balanced overflow");
+  // Server-major layout: the first `extra` slots hold base+1 clients —
+  // whole servers of base+1, at most one mixed boundary server, then
+  // whole servers of base. When base == 0 the minimal server count
+  // guarantees the trailing all-base class is empty (proved by the
+  // no-empty-server allocator invariant, fuzz-tested).
+  const auto extra_full = static_cast<int>(extra / slots);
+  const auto extra_rem = static_cast<int>(extra % slots);
+  if (extra_full > 0)
+    alloc.classes.push_back({extra_full, {{base + 1, slots}}});
+  if (extra_rem > 0)
+    alloc.classes.push_back(
+        {1, {{base + 1, extra_rem}, {base, slots - extra_rem}}});
+  const int rest = servers - extra_full - (extra_rem > 0 ? 1 : 0);
+  if (rest > 0) alloc.classes.push_back({rest, {{base, slots}}});
+  return alloc;
+}
+
+}  // namespace
+
+CompactAllocation allocate_compact(int clients, const ServerSpec& spec,
+                                   FillPolicy policy) {
+  if (clients < 0) throw std::invalid_argument("allocate: negative clients");
+  if (clients == 0) return {};
+  CompactAllocation alloc;
+  switch (policy) {
+    case FillPolicy::kFillFirst:
+      alloc = compact_fill_first(clients, spec);
+      break;
+    case FillPolicy::kBalanced:
+    case FillPolicy::kRoundRobin:
+      alloc = compact_spread(clients, spec);
       break;
     default:
       throw std::invalid_argument("allocate: unknown policy");

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/server.hpp"
@@ -48,5 +49,48 @@ struct Allocation {
 /// exceeds spec.max_parallel and every client is placed (invariants
 /// property-tested).
 Allocation allocate(int clients, const ServerSpec& spec, FillPolicy policy);
+
+/// Occupancy-histogram form of an allocation. Instead of one per-slot
+/// vector per server, servers with identical slot layouts are grouped
+/// into classes, and each class stores its layout as bands of
+/// consecutive slots holding the same number of clients. For all three
+/// FillPolicy variants the layout is analytically computable, so
+/// building this is O(1) in the fleet size — the fast path that lets the
+/// Section VI simulator scale to millions of hives — while `expand()`
+/// recovers the exact per-slot vectors `allocate()` would produce.
+struct CompactAllocation {
+  /// `slots` consecutive slots each holding `clients_per_slot` clients.
+  /// Zero-occupancy bands are kept where the vector form materializes
+  /// empty slots (the spread policies), so expansion is exact.
+  struct Band {
+    int clients_per_slot = 0;
+    int slots = 0;
+  };
+  /// A run of `servers` identical servers sharing one slot layout.
+  struct ServerClass {
+    std::int64_t servers = 0;
+    std::vector<Band> bands;  // in slot order
+
+    int active_slots_per_server() const noexcept;
+    std::int64_t clients_per_server() const noexcept;
+  };
+
+  std::vector<ServerClass> classes;  // <= 3 for the built-in policies
+
+  std::int64_t servers_used() const noexcept;
+  std::int64_t total_clients() const noexcept;
+  std::int64_t active_slots() const noexcept;
+
+  /// Materializes the per-slot vector form — O(servers × slots), for
+  /// tests and small fleets. Bit-for-bit equal to what `allocate()`
+  /// returns for the same inputs (equivalence-tested per policy).
+  Allocation expand() const;
+};
+
+/// O(1)-per-cycle equivalent of `allocate()`: same invariants, same
+/// layouts, but the result stays in histogram form and never touches
+/// memory proportional to the fleet.
+CompactAllocation allocate_compact(int clients, const ServerSpec& spec,
+                                   FillPolicy policy);
 
 }  // namespace beesim::core

@@ -33,15 +33,17 @@ LossConfig LossConfig::all() noexcept {
   return c;
 }
 
+bool LossConfig::saturates(int clients_in_slot,
+                           int max_parallel) const noexcept {
+  return slot_saturation &&
+         clients_in_slot > max_parallel - saturation_slack;
+}
+
 double LossConfig::saturation_factor(int clients_in_slot,
                                      int max_parallel) const {
   if (!slot_saturation) return 1.0;
-  const int threshold = max_parallel - saturation_slack;
-  const int over = clients_in_slot - threshold;
+  const int over = clients_in_slot - (max_parallel - saturation_slack);
   if (over <= 0) return 1.0;
-  static auto& saturated =
-      obs::registry().counter(obs::metric::kLossSaturatedSlots);
-  saturated.inc();
   return std::pow(1.0 + saturation_penalty, static_cast<double>(over));
 }
 

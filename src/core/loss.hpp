@@ -35,8 +35,14 @@ struct LossConfig {
   static LossConfig only_dropout() noexcept;
   static LossConfig all() noexcept;
 
+  /// Whether a slot holding k of max_parallel clients pays the
+  /// saturation penalty (loss model A enabled and k over the threshold).
+  bool saturates(int clients_in_slot, int max_parallel) const noexcept;
+
   /// Saturation multiplier for a slot holding k of max_parallel clients
-  /// (compounding, >= 1).
+  /// (compounding, >= 1). Pure — the kLossSaturatedSlots metric is
+  /// counted by the energy accounting in network_sim, which knows the
+  /// slot multiplicity, behind the usual obs::enabled() guard.
   double saturation_factor(int clients_in_slot, int max_parallel) const;
 
   /// Draws the number of clients lost this cycle.

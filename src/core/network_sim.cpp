@@ -1,9 +1,11 @@
 #include "core/network_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/catalog.hpp"
+#include "util/parallel.hpp"
 
 namespace beesim::core {
 
@@ -32,6 +34,39 @@ double CycleResult::total_per_client() const noexcept {
   return edge_per_client() + cloud_per_client();
 }
 
+double SweepPoint::mean_surviving() const noexcept {
+  return static_cast<double>(initial_clients) - lost_clients.mean();
+}
+
+int SweepPoint::lost_clients_display() const noexcept {
+  return static_cast<int>(std::lround(lost_clients.mean()));
+}
+
+double SweepPoint::edge_per_client() const noexcept {
+  return initial_clients > 0
+             ? edge_energy.mean() / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double SweepPoint::cloud_per_client() const noexcept {
+  return initial_clients > 0
+             ? cloud_energy.mean() / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double SweepPoint::total_per_client() const noexcept {
+  return initial_clients > 0
+             ? total_energy.mean() / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double SweepPoint::total_per_client_ci95() const noexcept {
+  if (initial_clients <= 0 || total_energy.count() < 2) return 0.0;
+  return 1.96 * total_energy.sample_stddev() /
+         std::sqrt(static_cast<double>(total_energy.count())) /
+         static_cast<double>(initial_clients);
+}
+
 LargeScaleSimulator::LargeScaleSimulator(FleetParams params)
     : params_(std::move(params)), server_(params_.server) {
   if (params_.loss.transfer_stretch)
@@ -42,6 +77,11 @@ LargeScaleSimulator::LargeScaleSimulator(FleetParams params)
         "LargeScaleSimulator: client period and server cycle differ");
   // Validate the geometry once (throws if a slot cannot fit).
   (void)server_.slots_per_cycle();
+  if (params_.loss.client_dropout) {
+    FleetParams ideal = params_;
+    ideal.loss.client_dropout = false;
+    ideal_ = std::make_shared<const LargeScaleSimulator>(std::move(ideal));
+  }
 }
 
 util::Joules LargeScaleSimulator::server_energy(
@@ -54,6 +94,36 @@ util::Joules LargeScaleSimulator::server_energy(
     active_energy += server_.slot_active_energy(k) *
                      params_.loss.saturation_factor(k,
                                                     server_.max_parallel);
+    if (obs::enabled() && params_.loss.saturates(k, server_.max_parallel)) {
+      static auto& saturated =
+          obs::registry().counter(obs::metric::kLossSaturatedSlots);
+      saturated.inc();
+    }
+  }
+  if (active_time > server_.cycle)
+    throw std::logic_error(
+        "LargeScaleSimulator: active slots exceed the cycle");
+  return server_.idle_power * (server_.cycle - active_time) + active_energy;
+}
+
+util::Joules LargeScaleSimulator::server_energy(
+    const CompactAllocation::ServerClass& cls, std::int64_t replicas) const {
+  util::Seconds active_time = 0.0;
+  util::Joules active_energy = 0.0;
+  for (const auto& band : cls.bands) {
+    const int k = band.clients_per_slot;
+    if (k <= 0 || band.slots <= 0) continue;
+    const auto slots = static_cast<double>(band.slots);
+    active_time += slots * server_.slot_duration(k);
+    active_energy += slots * (server_.slot_active_energy(k) *
+                              params_.loss.saturation_factor(
+                                  k, server_.max_parallel));
+    if (obs::enabled() && params_.loss.saturates(k, server_.max_parallel)) {
+      static auto& saturated =
+          obs::registry().counter(obs::metric::kLossSaturatedSlots);
+      saturated.inc(static_cast<std::uint64_t>(band.slots) *
+                    static_cast<std::uint64_t>(replicas));
+    }
   }
   if (active_time > server_.cycle)
     throw std::logic_error(
@@ -75,15 +145,27 @@ CycleResult LargeScaleSimulator::simulate_cycle(int clients,
       static_cast<double>(result.lost_clients) *
           params_.client.sleep_cycle_energy();
 
-  const Allocation alloc = allocate(surviving, server_, params_.policy);
-  result.servers_used = alloc.servers_used();
-  for (const auto& load : alloc.servers) {
-    result.active_slots += load.active_slots();
-    result.cloud_energy += server_energy(load);
+  if (params_.compact_allocation) {
+    const CompactAllocation alloc =
+        allocate_compact(surviving, server_, params_.policy);
+    result.servers_used = static_cast<int>(alloc.servers_used());
+    result.active_slots = static_cast<int>(alloc.active_slots());
+    for (const auto& cls : alloc.classes)
+      result.cloud_energy += static_cast<double>(cls.servers) *
+                             server_energy(cls, cls.servers);
+  } else {
+    const Allocation alloc = allocate(surviving, server_, params_.policy);
+    result.servers_used = alloc.servers_used();
+    for (const auto& load : alloc.servers) {
+      result.active_slots += load.active_slots();
+      result.cloud_energy += server_energy(load);
+    }
   }
 
   if (obs::enabled()) {
     static auto& cycles = obs::registry().counter(obs::metric::kFleetCycles);
+    static auto& hives =
+        obs::registry().counter(obs::metric::kFleetHivesSimulated);
     static auto& edge_requests =
         obs::registry().counter(obs::metric::kFleetRequestsEdge);
     static auto& cloud_requests =
@@ -93,6 +175,7 @@ CycleResult LargeScaleSimulator::simulate_cycle(int clients,
     static auto& max_servers =
         obs::registry().gauge(obs::metric::kFleetMaxServersUsed);
     cycles.inc();
+    hives.inc(static_cast<std::uint64_t>(clients));
     // Every surviving client both runs its edge routine and uploads to a
     // cloud slot (the Section VI clients are edge+cloud by construction);
     // dropped requests are the loss-C sleepers.
@@ -106,37 +189,49 @@ CycleResult LargeScaleSimulator::simulate_cycle(int clients,
 
 CycleResult LargeScaleSimulator::simulate_ideal_cycle(int clients) const {
   util::Rng unused(0);
-  FleetParams ideal = params_;
-  ideal.loss.client_dropout = false;
-  LargeScaleSimulator sim(ideal);
-  return sim.simulate_cycle(clients, unused);
+  return ideal_ ? ideal_->simulate_cycle(clients, unused)
+                : simulate_cycle(clients, unused);
 }
 
-std::vector<CycleResult> LargeScaleSimulator::sweep(
+std::vector<SweepPoint> LargeScaleSimulator::sweep(
     const std::vector<int>& client_counts, std::uint64_t seed,
-    int cycles_per_point) const {
+    int cycles_per_point, unsigned threads) const {
   if (cycles_per_point < 1)
     throw std::invalid_argument("sweep: cycles_per_point < 1");
-  util::Rng rng(seed);
-  std::vector<CycleResult> out;
-  out.reserve(client_counts.size());
-  for (int n : client_counts) {
-    CycleResult mean;
-    for (int c = 0; c < cycles_per_point; ++c) {
-      const CycleResult r = simulate_cycle(n, rng);
-      mean.initial_clients = r.initial_clients;
-      mean.lost_clients += r.lost_clients;
-      mean.servers_used = std::max(mean.servers_used, r.servers_used);
-      mean.active_slots += r.active_slots;
-      mean.edge_energy += r.edge_energy;
-      mean.cloud_energy += r.cloud_energy;
-    }
-    const double inv = 1.0 / static_cast<double>(cycles_per_point);
-    mean.lost_clients = static_cast<int>(mean.lost_clients * inv);
-    mean.active_slots = static_cast<int>(mean.active_slots * inv);
-    mean.edge_energy *= inv;
-    mean.cloud_energy *= inv;
-    out.push_back(mean);
+  std::vector<SweepPoint> out(client_counts.size());
+  util::parallel_for(
+      client_counts.size(),
+      [&](std::size_t i) {
+        const int n = client_counts[i];
+        // Stream keyed by the fleet size, not the sweep position: the
+        // n=400 result is identical whether the sweep is {400} or
+        // {100, 200, 300, 400} (regression-tested).
+        util::Rng rng =
+            util::Rng::for_stream(seed, static_cast<std::uint64_t>(n));
+        SweepPoint& point = out[i];
+        point.initial_clients = n;
+        point.cycles = cycles_per_point;
+        for (int c = 0; c < cycles_per_point; ++c) {
+          const CycleResult r = simulate_cycle(n, rng);
+          point.servers_used = std::max(point.servers_used, r.servers_used);
+          point.lost_clients.add(static_cast<double>(r.lost_clients));
+          point.active_slots.add(static_cast<double>(r.active_slots));
+          point.edge_energy.add(r.edge_energy);
+          point.cloud_energy.add(r.cloud_energy);
+          point.total_energy.add(r.edge_energy + r.cloud_energy);
+        }
+      },
+      threads);
+  if (obs::enabled()) {
+    static auto& points =
+        obs::registry().counter(obs::metric::kFleetSweepPoints);
+    static auto& sweep_threads =
+        obs::registry().gauge(obs::metric::kFleetSweepThreads);
+    points.inc(static_cast<std::uint64_t>(client_counts.size()));
+    const auto used = std::min<std::size_t>(
+        threads == 0 ? util::default_thread_count() : threads,
+        std::max<std::size_t>(client_counts.size(), 1));
+    sweep_threads.set(static_cast<double>(used));
   }
   return out;
 }

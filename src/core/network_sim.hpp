@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/allocator.hpp"
@@ -7,6 +9,7 @@
 #include "core/loss.hpp"
 #include "core/server.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace beesim::core {
 
@@ -17,6 +20,12 @@ struct FleetParams {
   ServerSpec server;
   FillPolicy policy = FillPolicy::kFillFirst;
   LossConfig loss;
+  /// When true (the default) each cycle allocates through the O(1)
+  /// occupancy-histogram fast path (allocate_compact); false forces the
+  /// materialized per-slot vector path. Both produce the same energy
+  /// accounting (equivalence-tested); the vector path exists for
+  /// cross-validation and stays O(servers × slots) per cycle.
+  bool compact_allocation = true;
 
   /// The paper's Section VI configuration: edge+cloud smart-beehive
   /// clients on a 5-minute cycle, cloud servers running the given queen
@@ -45,6 +54,32 @@ struct CycleResult {
   double total_per_client() const noexcept;
 };
 
+/// Monte-Carlo statistics of one sweep point: `cycles` simulated cycles
+/// at a fixed fleet size, accumulated as full streaming statistics
+/// (mean/stddev/extrema) instead of the old truncated integer means —
+/// rounding happens only at display time.
+struct SweepPoint {
+  int initial_clients = 0;
+  int cycles = 0;
+  int servers_used = 0;  // max across the point's cycles
+  util::RunningStats lost_clients;
+  util::RunningStats active_slots;
+  util::RunningStats edge_energy;   // fleet-wide joules per cycle
+  util::RunningStats cloud_energy;  // fleet-wide joules per cycle
+  util::RunningStats total_energy;  // edge + cloud per cycle
+
+  double mean_surviving() const noexcept;
+  /// Display-time rounding of the mean dropout count.
+  int lost_clients_display() const noexcept;
+  /// Per-initial-client means, as in CycleResult.
+  double edge_per_client() const noexcept;
+  double cloud_per_client() const noexcept;
+  double total_per_client() const noexcept;
+  /// 95 % confidence half-width of total_per_client across the point's
+  /// cycles (0 for fewer than 2 cycles).
+  double total_per_client_ci95() const noexcept;
+};
+
 /// The analytic large-scale simulator of Section VI: allocates clients to
 /// servers and time slots, applies the loss models, and accounts energy
 /// for one cycle. Deterministic given the RNG (only loss C draws from
@@ -56,14 +91,21 @@ class LargeScaleSimulator {
   /// One cycle with `clients` deployed beehives.
   CycleResult simulate_cycle(int clients, util::Rng& rng) const;
 
-  /// One cycle without any stochastic loss (ignores loss model C).
+  /// One cycle without any stochastic loss (ignores loss model C). The
+  /// no-dropout sibling is built once at construction, so bench loops
+  /// calling this per point never re-validate the server geometry.
   CycleResult simulate_ideal_cycle(int clients) const;
 
   /// Sweeps a range of fleet sizes; each point runs `cycles_per_point`
-  /// cycles and averages (loss C makes single cycles noisy).
-  std::vector<CycleResult> sweep(const std::vector<int>& client_counts,
-                                 std::uint64_t seed,
-                                 int cycles_per_point = 1) const;
+  /// cycles and accumulates statistics (loss C makes single cycles
+  /// noisy). Points run under util::parallel_for (`threads` = 0 picks
+  /// hardware concurrency, 1 runs inline), and every point derives its
+  /// own RNG stream from (seed, fleet size) — results are bit-identical
+  /// across thread counts AND across sweep ranges: the point at n=400 is
+  /// the same whether the sweep is {400} or {100, ..., 400}.
+  std::vector<SweepPoint> sweep(const std::vector<int>& client_counts,
+                                std::uint64_t seed, int cycles_per_point = 1,
+                                unsigned threads = 0) const;
 
   /// The server spec with loss model B folded in (stretched slots).
   const ServerSpec& effective_server() const noexcept { return server_; }
@@ -71,9 +113,17 @@ class LargeScaleSimulator {
 
  private:
   util::Joules server_energy(const Allocation::ServerLoad& load) const;
+  /// Per-server energy of one compact server class; `replicas` is the
+  /// class multiplicity, used only for exact metric accounting.
+  util::Joules server_energy(const CompactAllocation::ServerClass& cls,
+                             std::int64_t replicas) const;
 
   FleetParams params_;
   ServerSpec server_;  // params_.server with transfer stretch applied
+  // Dropout-free sibling backing simulate_ideal_cycle (null when this
+  // simulator is already dropout-free). Shared so the simulator stays
+  // copyable; the sibling is immutable.
+  std::shared_ptr<const LargeScaleSimulator> ideal_;
 };
 
 /// Convenience for sweeps: {lo, lo+step, ..., <= hi}.

@@ -11,11 +11,13 @@ void register_catalog(Registry& reg) {
   for (const char* name :
        {m::kEngineEventsScheduled, m::kEngineEventsExecuted,
         m::kEngineEventsCancelled, m::kAllocatorCalls,
-        m::kAllocatorClientsPlaced, m::kOrchestratorEvaluations,
+        m::kAllocatorClientsPlaced, m::kAllocatorCompactCalls,
+        m::kOrchestratorEvaluations,
         m::kOrchestratorInfeasible, m::kOrchestratorPlacementsEdge,
         m::kOrchestratorPlacementsCloud, m::kFleetCycles,
         m::kFleetRequestsEdge, m::kFleetRequestsCloud,
-        m::kFleetRequestsDropped, m::kLossSaturatedSlots,
+        m::kFleetRequestsDropped, m::kFleetHivesSimulated,
+        m::kFleetSweepPoints, m::kLossSaturatedSlots,
         m::kLossDropoutDraws, m::kLossDropoutClients, m::kServerSlotPlans,
         m::kClientSpecsBuilt, m::kClientCycleEvaluations, m::kLinkTransfers,
         m::kLinkBytes, m::kRetransmitTransfers, m::kRetransmitChunks,
@@ -26,8 +28,8 @@ void register_catalog(Registry& reg) {
     reg.counter(name);
   for (const char* name :
        {m::kEngineMaxQueueDepth, m::kFleetMaxServersUsed,
-        m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
-        m::kBatteryDischargeJoules})
+        m::kFleetSweepThreads, m::kServerMaxSlotsPerCycle,
+        m::kBatteryChargeJoules, m::kBatteryDischargeJoules})
     reg.gauge(name);
   reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
 }

@@ -27,6 +27,8 @@ inline constexpr const char* kAllocatorClientsPlaced =
     "core.allocator.clients_placed";
 inline constexpr const char* kAllocatorSlotOccupancy =
     "core.allocator.slot_occupancy";
+inline constexpr const char* kAllocatorCompactCalls =
+    "core.allocator.compact_calls";
 
 // core::ServiceOrchestrator — multi-service placement search.
 inline constexpr const char* kOrchestratorEvaluations =
@@ -48,6 +50,11 @@ inline constexpr const char* kFleetRequestsDropped =
     "core.fleet.requests_dropped";
 inline constexpr const char* kFleetMaxServersUsed =
     "core.fleet.max_servers_used";
+inline constexpr const char* kFleetHivesSimulated =
+    "core.fleet.hives_simulated";
+inline constexpr const char* kFleetSweepPoints = "core.fleet.sweep_points";
+inline constexpr const char* kFleetSweepThreads =
+    "core.fleet.sweep_threads";
 
 // core::LossConfig — the Section VI loss models.
 inline constexpr const char* kLossSaturatedSlots =

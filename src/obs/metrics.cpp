@@ -28,13 +28,15 @@ Histogram::Histogram(std::vector<double> upper_bounds)
     throw std::invalid_argument("Histogram: duplicate bounds");
 }
 
-void Histogram::observe(double v) noexcept {
-  if (!enabled()) return;
+void Histogram::observe(double v) noexcept { observe(v, 1); }
+
+void Histogram::observe(double v, std::uint64_t n) noexcept {
+  if (!enabled() || n == 0) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto i = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * static_cast<double>(n), std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {

@@ -76,6 +76,10 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double v) noexcept;
+  /// Records `n` observations of the same value in O(1) — the bulk form
+  /// used by compact (histogram-shaped) producers such as the occupancy
+  /// allocator, where one band stands for thousands of identical slots.
+  void observe(double v, std::uint64_t n) noexcept;
 
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Count in bucket i (<= bounds()[i]); i == bounds().size() is overflow.

@@ -79,4 +79,15 @@ bool Rng::chance(double p) noexcept { return uniform() < p; }
 
 Rng Rng::fork() noexcept { return Rng((*this)()); }
 
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the seed, fold the stream id in (multiplying by an odd constant
+  // keeps distinct ids distinct mod 2^64), and mix again: two splitmix64
+  // rounds decorrelate even adjacent (seed, stream) pairs.
+  std::uint64_t state = seed;
+  std::uint64_t mixed = splitmix64(state);
+  state ^= stream * 0x9e3779b97f4a7c15ULL;
+  mixed ^= splitmix64(state);
+  return Rng(mixed);
+}
+
 }  // namespace beesim::util

@@ -47,6 +47,14 @@ class Rng {
   /// because the child is re-seeded through splitmix64.
   Rng fork() noexcept;
 
+  /// Deterministic stream addressed by (seed, stream): the id is folded
+  /// into the splitmix64 seeding chain, so stream k of a given seed is
+  /// always the same generator no matter which other streams exist or in
+  /// what order they are drawn. This is what makes parallel sweeps
+  /// bit-identical to serial ones — every sweep point derives its own
+  /// stream instead of sharing one sequential generator.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept;
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

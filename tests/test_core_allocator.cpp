@@ -166,3 +166,97 @@ TEST(Allocator, PolicyNames) {
   EXPECT_STREQ(core::to_string(FillPolicy::kBalanced), "balanced");
   EXPECT_STREQ(core::to_string(FillPolicy::kRoundRobin), "round-robin");
 }
+
+// ---------------------------------------------------- Compact allocation
+
+class CompactAllocatorPolicies
+    : public ::testing::TestWithParam<FillPolicy> {};
+
+/// The tentpole equivalence: for every policy and fleet size, the O(1)
+/// histogram form expands to exactly the per-slot vectors the O(n)
+/// allocator builds — same servers, same slots, same occupancies.
+TEST_P(CompactAllocatorPolicies, ExpandsToExactVectorAllocation) {
+  const auto spec = cnn_server(10);
+  const int cap = spec.capacity();
+  for (int n : {0, 1, 5, 9, 10, 11, 90, 179, 180, 181, 360, 361, 999,
+                cap, cap + 1, 7 * cap, 7 * cap + 13}) {
+    const auto compact = core::allocate_compact(n, spec, GetParam());
+    const auto vec = core::allocate(n, spec, GetParam());
+    SCOPED_TRACE(std::string("policy ") + core::to_string(GetParam()) +
+                 " n=" + std::to_string(n));
+
+    // Aggregates agree without expansion.
+    EXPECT_EQ(compact.total_clients(), n);
+    EXPECT_EQ(compact.servers_used(), vec.servers_used());
+    std::int64_t vec_slots = 0;
+    for (const auto& s : vec.servers) vec_slots += s.active_slots();
+    EXPECT_EQ(compact.active_slots(), vec_slots);
+    EXPECT_LE(compact.classes.size(), 3u);
+
+    // Expansion is bit-for-bit identical.
+    const auto expanded = compact.expand();
+    ASSERT_EQ(expanded.servers.size(), vec.servers.size());
+    for (std::size_t s = 0; s < vec.servers.size(); ++s)
+      EXPECT_EQ(expanded.servers[s].slot_clients,
+                vec.servers[s].slot_clients) << "server " << s;
+  }
+}
+
+TEST_P(CompactAllocatorPolicies, ZeroClientsYieldNoClasses) {
+  const auto compact = core::allocate_compact(0, cnn_server(), GetParam());
+  EXPECT_EQ(compact.servers_used(), 0);
+  EXPECT_EQ(compact.total_clients(), 0);
+  EXPECT_EQ(compact.active_slots(), 0);
+  EXPECT_TRUE(compact.expand().servers.empty());
+}
+
+TEST_P(CompactAllocatorPolicies, MillionHiveFleetStaysTiny) {
+  // The point of the histogram form: a million clients is still at most
+  // three classes of a handful of bands each.
+  const auto spec = cnn_server(10);
+  const int n = 1000000;
+  const auto compact = core::allocate_compact(n, spec, GetParam());
+  EXPECT_EQ(compact.total_clients(), n);
+  EXPECT_EQ(compact.servers_used(),
+            (n + spec.capacity() - 1) / spec.capacity());
+  EXPECT_LE(compact.classes.size(), 3u);
+  for (const auto& cls : compact.classes)
+    EXPECT_LE(cls.bands.size(), 3u);
+}
+
+TEST_P(CompactAllocatorPolicies, RejectsNegativeClients) {
+  EXPECT_THROW(core::allocate_compact(-1, cnn_server(), GetParam()),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CompactAllocatorPolicies,
+                         ::testing::Values(FillPolicy::kFillFirst,
+                                           FillPolicy::kBalanced,
+                                           FillPolicy::kRoundRobin));
+
+TEST(CompactAllocator, FillFirstRemainderBandsMatchHandComputation) {
+  // 25 clients, 10 per slot: two full slots and a 5-client slot on one
+  // server.
+  const auto compact =
+      core::allocate_compact(25, cnn_server(10), FillPolicy::kFillFirst);
+  ASSERT_EQ(compact.classes.size(), 1u);
+  const auto& cls = compact.classes.front();
+  EXPECT_EQ(cls.servers, 1);
+  ASSERT_EQ(cls.bands.size(), 2u);
+  EXPECT_EQ(cls.bands[0].clients_per_slot, 10);
+  EXPECT_EQ(cls.bands[0].slots, 2);
+  EXPECT_EQ(cls.bands[1].clients_per_slot, 5);
+  EXPECT_EQ(cls.bands[1].slots, 1);
+}
+
+TEST(CompactAllocator, BalancedKeepsZeroBandsForEmptySlots) {
+  // 4 clients spread over 18 slots: 4 slots of 1 plus 14 materialized
+  // empty slots, matching allocate()'s padded vectors.
+  const auto compact =
+      core::allocate_compact(4, cnn_server(10), FillPolicy::kBalanced);
+  ASSERT_EQ(compact.servers_used(), 1);
+  const auto expanded = compact.expand();
+  ASSERT_EQ(expanded.servers.size(), 1u);
+  EXPECT_EQ(expanded.servers.front().slot_clients.size(), 18u);
+  EXPECT_EQ(expanded.servers.front().active_slots(), 4);
+}

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/des_check.hpp"
@@ -190,9 +191,83 @@ TEST(Sweep, DeterministicForSeed) {
   const auto b = sim.sweep(counts, 7, 3);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].edge_energy, b[i].edge_energy);
-    EXPECT_DOUBLE_EQ(a[i].cloud_energy, b[i].cloud_energy);
+    EXPECT_DOUBLE_EQ(a[i].edge_energy.mean(), b[i].edge_energy.mean());
+    EXPECT_DOUBLE_EQ(a[i].cloud_energy.mean(), b[i].cloud_energy.mean());
+    EXPECT_DOUBLE_EQ(a[i].lost_clients.mean(), b[i].lost_clients.mean());
   }
+}
+
+TEST(Sweep, ResultIndependentOfSweepRange) {
+  // Regression for the per-point RNG streams: each point's stream is
+  // derived from (seed, fleet size), so the n=400 statistics are
+  // identical whether the sweep is {400} alone or {100, 400}.
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::all();
+  core::LargeScaleSimulator sim(fleet);
+  const auto pair = sim.sweep({100, 400}, 7, 5);
+  const auto solo = sim.sweep({400}, 7, 5);
+  ASSERT_EQ(pair.size(), 2u);
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(pair[1].initial_clients, solo[0].initial_clients);
+  EXPECT_EQ(pair[1].servers_used, solo[0].servers_used);
+  EXPECT_DOUBLE_EQ(pair[1].lost_clients.mean(), solo[0].lost_clients.mean());
+  EXPECT_DOUBLE_EQ(pair[1].edge_energy.mean(), solo[0].edge_energy.mean());
+  EXPECT_DOUBLE_EQ(pair[1].cloud_energy.mean(),
+                   solo[0].cloud_energy.mean());
+  EXPECT_DOUBLE_EQ(pair[1].total_energy.sample_stddev(),
+                   solo[0].total_energy.sample_stddev());
+}
+
+TEST(Sweep, ResultIndependentOfThreadCount) {
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::all();
+  core::LargeScaleSimulator sim(fleet);
+  const auto counts = core::client_range(50, 450, 50);
+  const auto serial = sim.sweep(counts, 9, 4, /*threads=*/1);
+  const auto parallel = sim.sweep(counts, 9, 4, /*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].servers_used, parallel[i].servers_used);
+    EXPECT_DOUBLE_EQ(serial[i].lost_clients.mean(),
+                     parallel[i].lost_clients.mean());
+    EXPECT_DOUBLE_EQ(serial[i].edge_energy.mean(),
+                     parallel[i].edge_energy.mean());
+    EXPECT_DOUBLE_EQ(serial[i].cloud_energy.mean(),
+                     parallel[i].cloud_energy.mean());
+    EXPECT_DOUBLE_EQ(serial[i].total_energy.sample_stddev(),
+                     parallel[i].total_energy.sample_stddev());
+  }
+}
+
+TEST(Sweep, MeansAreNotTruncatedToIntegers) {
+  // The old sweep averaged lost clients and energies through
+  // static_cast<int>, flooring every mean. Replay one point by hand with
+  // the same per-point stream and check the float mean survives.
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = LossConfig::all();
+  core::LargeScaleSimulator sim(fleet);
+  const int n = 250;
+  const int cycles = 3;
+  const auto point = sim.sweep({n}, 5, cycles).front();
+
+  beesim::util::Rng rng = beesim::util::Rng::for_stream(5, n);
+  double lost_sum = 0.0;
+  double edge_sum = 0.0;
+  for (int c = 0; c < cycles; ++c) {
+    const auto r = sim.simulate_cycle(n, rng);
+    lost_sum += r.lost_clients;
+    edge_sum += r.edge_energy;
+  }
+  EXPECT_DOUBLE_EQ(point.lost_clients.mean(), lost_sum / cycles);
+  EXPECT_DOUBLE_EQ(point.edge_energy.mean(), edge_sum / cycles);
+  // The fractional part the old integer mean dropped is really there.
+  EXPECT_NE(point.lost_clients.mean(),
+            std::floor(point.lost_clients.mean()));
+}
+
+TEST(Sweep, CyclesBelowOneRejected) {
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  EXPECT_THROW(sim.sweep({10}, 1, 0), std::invalid_argument);
 }
 
 TEST(Sweep, ClientRangeHelper) {
@@ -201,6 +276,83 @@ TEST(Sweep, ClientRangeHelper) {
   EXPECT_EQ(core::client_range(10, 45, 10),
             (std::vector<int>{10, 20, 30, 40}));
   EXPECT_THROW(core::client_range(10, 5, 1), std::invalid_argument);
+}
+
+// ----------------------------------- Compact vs vector allocation paths
+
+/// The scaling tentpole: a simulator on the O(1) histogram path must
+/// report the same fleet physics as one on the materialized per-slot
+/// path. Energies go through a different summation order (slots × E vs
+/// repeated addition), so they agree to rounding, not bitwise.
+class CompactPathEquivalence
+    : public ::testing::TestWithParam<FillPolicy> {};
+
+TEST_P(CompactPathEquivalence, MatchesVectorPathAcrossLossModels) {
+  for (const auto& loss :
+       {LossConfig::none(), LossConfig::only_saturation(),
+        LossConfig::only_transfer_stretch(), LossConfig::all()}) {
+    core::FleetParams fast = core::FleetParams::paper_default();
+    fast.loss = loss;
+    fast.policy = GetParam();
+    fast.compact_allocation = true;
+    core::FleetParams slow = fast;
+    slow.compact_allocation = false;
+    core::LargeScaleSimulator fast_sim(fast);
+    core::LargeScaleSimulator slow_sim(slow);
+    const int cap = fast_sim.effective_server().capacity();
+    for (int n : {0, 1, 9, 10, 11, 90, cap - 1, cap, cap + 1, 2 * cap,
+                  1000, 54321}) {
+      const auto a = fast_sim.simulate_ideal_cycle(n);
+      const auto b = slow_sim.simulate_ideal_cycle(n);
+      SCOPED_TRACE(std::string("policy ") + core::to_string(GetParam()) +
+                   " n=" + std::to_string(n));
+      EXPECT_EQ(a.servers_used, b.servers_used);
+      EXPECT_EQ(a.active_slots, b.active_slots);
+      EXPECT_DOUBLE_EQ(a.edge_energy, b.edge_energy);
+      EXPECT_NEAR(a.cloud_energy, b.cloud_energy,
+                  1e-9 * std::max(1.0, b.cloud_energy));
+    }
+  }
+}
+
+TEST_P(CompactPathEquivalence, MatchesVectorPathUnderDropout) {
+  // With dropout the two paths must also see the same RNG draws: the
+  // loss draw happens before allocation, so identical seeds give
+  // identical surviving counts on both paths.
+  core::FleetParams fast = core::FleetParams::paper_default();
+  fast.loss = LossConfig::all();
+  fast.policy = GetParam();
+  core::FleetParams slow = fast;
+  slow.compact_allocation = false;
+  core::LargeScaleSimulator fast_sim(fast);
+  core::LargeScaleSimulator slow_sim(slow);
+  const auto a = fast_sim.sweep({50, 250, 999}, 13, 4);
+  const auto b = slow_sim.sweep({50, 250, 999}, 13, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].servers_used, b[i].servers_used);
+    EXPECT_DOUBLE_EQ(a[i].lost_clients.mean(), b[i].lost_clients.mean());
+    EXPECT_DOUBLE_EQ(a[i].active_slots.mean(), b[i].active_slots.mean());
+    EXPECT_DOUBLE_EQ(a[i].edge_energy.mean(), b[i].edge_energy.mean());
+    EXPECT_NEAR(a[i].cloud_energy.mean(), b[i].cloud_energy.mean(),
+                1e-9 * std::max(1.0, b[i].cloud_energy.mean()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CompactPathEquivalence,
+                         ::testing::Values(FillPolicy::kFillFirst,
+                                           FillPolicy::kBalanced,
+                                           FillPolicy::kRoundRobin));
+
+TEST(CompactPath, MillionHiveIdealCycleIsCheap) {
+  // Acceptance: the histogram path makes a 1M-hive cycle O(1); sanity
+  // numbers only, the wall-clock budget is enforced by scale_fleet.
+  core::LargeScaleSimulator sim(core::FleetParams::paper_default());
+  const int n = 1000000;
+  const auto r = sim.simulate_ideal_cycle(n);
+  EXPECT_EQ(r.servers_used, (n + 179) / 180);
+  EXPECT_NEAR(r.edge_per_client(), 322.0, 0.2);
+  EXPECT_NEAR(r.cloud_per_client(), 116.0, 2.0);
 }
 
 TEST(Simulation, MismatchedPeriodsRejected) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/network_sim.hpp"
 #include "obs/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -370,5 +371,61 @@ TEST(ObsDeterminism, EnablingMetricsDoesNotChangeEngineTrace) {
   // ...and the simulated behaviour is bit-identical anyway.
   ASSERT_EQ(off_trace.size(), on_trace.size());
   EXPECT_EQ(off_trace, on_trace);
+}
+
+TEST(ObsDeterminism, EnablingMetricsDoesNotChangeLossyFleetSweep) {
+  // The same property for the Section VI simulator under every loss
+  // model: the saturation counter used to be incremented inside
+  // saturation_factor without an enabled() gate; this pins the counting
+  // to instrumented runs and the physics to both.
+  beesim::core::FleetParams fleet =
+      beesim::core::FleetParams::paper_default();
+  fleet.loss = beesim::core::LossConfig::all();
+  beesim::core::LargeScaleSimulator sim(fleet);
+  const std::vector<int> counts{50, 200, 400};
+
+  std::vector<beesim::core::SweepPoint> off_points;
+  {
+    EnabledGuard guard(false);
+    off_points = sim.sweep(counts, 17, 3);
+  }
+  std::vector<beesim::core::SweepPoint> on_points;
+  {
+    EnabledGuard guard(true);
+    obs::register_catalog(obs::registry());
+    obs::registry().reset_values();
+    on_points = sim.sweep(counts, 17, 3);
+    const auto snap = obs::registry().snapshot();
+    // Fill-first at 400 clients packs slots to max_parallel, so the
+    // saturation penalty fires and is counted — but only when enabled.
+    EXPECT_GT(snap.counters.at(obs::metric::kLossSaturatedSlots), 0u);
+    EXPECT_GT(snap.counters.at(obs::metric::kAllocatorCompactCalls), 0u);
+    EXPECT_EQ(snap.counters.at(obs::metric::kFleetSweepPoints),
+              counts.size());
+  }
+  ASSERT_EQ(off_points.size(), on_points.size());
+  for (std::size_t i = 0; i < off_points.size(); ++i) {
+    EXPECT_EQ(off_points[i].servers_used, on_points[i].servers_used);
+    EXPECT_DOUBLE_EQ(off_points[i].lost_clients.mean(),
+                     on_points[i].lost_clients.mean());
+    EXPECT_DOUBLE_EQ(off_points[i].edge_energy.mean(),
+                     on_points[i].edge_energy.mean());
+    EXPECT_DOUBLE_EQ(off_points[i].cloud_energy.mean(),
+                     on_points[i].cloud_energy.mean());
+  }
+}
+
+TEST(ObsHistogram, BulkObserveMatchesRepeatedObserve) {
+  EnabledGuard guard(true);
+  obs::Histogram repeated({2.0, 4.0, 8.0});
+  obs::Histogram bulk({2.0, 4.0, 8.0});
+  for (int i = 0; i < 1000; ++i) repeated.observe(3.0);
+  bulk.observe(3.0, 1000);
+  EXPECT_EQ(bulk.count(), repeated.count());
+  EXPECT_EQ(bulk.bucket_count(1), repeated.bucket_count(1));
+  // 3.0 is exactly representable, so even the sums agree bitwise.
+  EXPECT_DOUBLE_EQ(bulk.sum(), repeated.sum());
+  bulk.observe(5.0, 0);  // n = 0 is a no-op
+  EXPECT_EQ(bulk.count(), 1000u);
 }
 

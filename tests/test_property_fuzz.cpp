@@ -125,6 +125,46 @@ TEST(FuzzAllocator, InvariantsHoldForRandomSpecs) {
   }
 }
 
+TEST(FuzzAllocator, CompactExpandsToVectorForRandomSpecs) {
+  // Property form of the compact-allocator equivalence: for random
+  // geometries, fleet sizes, and policies, the O(1) histogram form must
+  // expand to exactly the vectors allocate() builds.
+  beesim::util::Rng rng(107);
+  const core::FillPolicy policies[] = {core::FillPolicy::kFillFirst,
+                                       core::FillPolicy::kBalanced,
+                                       core::FillPolicy::kRoundRobin};
+  int checked = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    core::ServerSpec spec =
+        core::ServerSpec::cloud_server(core::ServiceModel::kCnn, 10);
+    spec.receive_time = rng.uniform(2.0, 60.0);
+    spec.process_time = rng.uniform(0.05, 10.0);
+    spec.max_parallel = static_cast<int>(rng.uniform_int(1, 60));
+    if (rng.chance(0.3))
+      spec.extra_transfer_per_client = rng.uniform(0.0, 1.0);
+    if (spec.planning_slot_duration() > spec.cycle) continue;
+
+    const int clients = static_cast<int>(rng.uniform_int(0, 5000));
+    const auto policy = policies[rng.uniform_int(0, 2)];
+    const auto compact = core::allocate_compact(clients, spec, policy);
+    const auto vec = core::allocate(clients, spec, policy);
+
+    EXPECT_EQ(compact.total_clients(), clients) << "trial " << trial;
+    EXPECT_EQ(compact.servers_used(), vec.servers_used());
+    EXPECT_LE(compact.classes.size(), 3u);
+    const auto expanded = compact.expand();
+    ASSERT_EQ(expanded.servers.size(), vec.servers.size())
+        << "trial " << trial << " policy " << core::to_string(policy)
+        << " clients " << clients;
+    for (std::size_t s = 0; s < vec.servers.size(); ++s)
+      EXPECT_EQ(expanded.servers[s].slot_clients,
+                vec.servers[s].slot_clients)
+          << "trial " << trial << " server " << s;
+    ++checked;
+  }
+  EXPECT_GE(checked, 100);
+}
+
 // ----------------------------------------------------- Scenario invariants
 
 TEST(FuzzScenario, TimeRowsAlwaysSumToCycle) {

@@ -91,6 +91,29 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, ForStreamIsDeterministicPerKey) {
+  // Stateless stream derivation: the same (seed, stream) pair always
+  // yields the same generator, independent of construction order.
+  u::Rng a = u::Rng::for_stream(42, 7);
+  u::Rng b = u::Rng::for_stream(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForStreamSeparatesStreamsAndSeeds) {
+  u::Rng base = u::Rng::for_stream(42, 7);
+  u::Rng other_stream = u::Rng::for_stream(42, 8);
+  u::Rng other_seed = u::Rng::for_stream(43, 7);
+  int stream_equal = 0;
+  int seed_equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = base();
+    if (x == other_stream()) ++stream_equal;
+    if (x == other_seed()) ++seed_equal;
+  }
+  EXPECT_LT(stream_equal, 2);
+  EXPECT_LT(seed_equal, 2);
+}
+
 // -------------------------------------------------------------------- Stats
 
 TEST(RunningStats, EmptyIsZero) {
