@@ -13,6 +13,7 @@
 //
 // Usage: fig5_model_energy_accuracy [clips=240] [clip_seconds=1.5]
 //          [epochs=8] [seed=2023] [sides=20,40,60,80,100,140]
+//          [kernels=fast]   (fast | reference DSP/ML kernel paths)
 
 #include <cstdio>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "audio/dataset.hpp"
 #include "bench_common.hpp"
 #include "device/calibration.hpp"
+#include "dsp/kernel_config.hpp"
 #include "ml/costmodel.hpp"
 #include "ml/metrics.hpp"
 #include "ml/network.hpp"
@@ -53,6 +55,8 @@ int main(int argc, char** argv) {
   const int epochs = static_cast<int>(args.config().get_int("epochs", 8));
   const auto sides = parse_sides(
       args.config().get_string("sides", "20,40,60,80,100,140"));
+  const auto kernels = args.config().get_string("kernels", "fast");
+  dsp::set_kernel_config(dsp::kernel_config_from_name(kernels));
 
   bench::banner("Fig 5",
                 "prediction energy and accuracy vs image resolution");

@@ -11,6 +11,8 @@
 #include "audio/synth.hpp"
 #include "core/network_sim.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernel_config.hpp"
+#include "dsp/mel.hpp"
 #include "dsp/spectrogram.hpp"
 #include "ml/network.hpp"
 #include "ml/svm.hpp"
@@ -20,6 +22,16 @@
 namespace {
 
 using namespace beesim;
+
+/// Pins the global kernel config for one benchmark body and restores the
+/// fast default afterwards, so fixture order never leaks a config.
+class ScopedKernels {
+ public:
+  explicit ScopedKernels(const dsp::KernelConfig& kc) {
+    dsp::set_kernel_config(kc);
+  }
+  ~ScopedKernels() { dsp::set_kernel_config(dsp::KernelConfig::fast()); }
+};
 
 void BM_Fft(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -36,6 +48,40 @@ void BM_Fft(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft)->Arg(512)->Arg(2048)->Arg(8192);
 
+// Planned real FFT vs the reference path (full complex FFT of the real
+// signal, recomputed twiddles). Same output bins, ~4x less work expected:
+// 2x from the half-size transform, the rest from the tables.
+void BM_RealFftPlanned(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> signal(n);
+  for (auto& v : signal) v = rng.normal();
+  const dsp::RealFftPlan plan(n);
+  std::vector<dsp::Complex> out(plan.bins());
+  std::vector<dsp::Complex> scratch(plan.scratch_size());
+  for (auto _ : state) {
+    plan.transform(signal.data(), out.data(), scratch.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RealFftPlanned)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_RealFftReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> signal(n);
+  for (auto& v : signal) v = rng.normal();
+  for (auto _ : state) {
+    auto spec = dsp::rfft(signal);
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RealFftReference)->Arg(512)->Arg(2048)->Arg(8192);
+
 void BM_MelSpectrogram(benchmark::State& state) {
   const double seconds = static_cast<double>(state.range(0)) / 10.0;
   audio::BeeAudioSynth synth;
@@ -48,6 +94,56 @@ void BM_MelSpectrogram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MelSpectrogram)->Arg(5)->Arg(10)->Arg(30);  // 0.5 / 1 / 3 s
+
+// Full mel pipeline with every fast-path kernel disabled — the pre-plan
+// baseline, kept runnable so the speedup in EXPERIMENTS.md can always be
+// re-measured on the current tree.
+void BM_MelSpectrogramReference(benchmark::State& state) {
+  ScopedKernels scoped(dsp::KernelConfig::reference());
+  const double seconds = static_cast<double>(state.range(0)) / 10.0;
+  audio::BeeAudioSynth synth;
+  util::Rng rng(2);
+  const auto clip = synth.synthesize(true, seconds, rng);
+  dsp::MelSpectrogram mel;
+  for (auto _ : state) {
+    auto m = mel.compute(clip);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_MelSpectrogramReference)->Arg(5)->Arg(10)->Arg(30);
+
+// Banded vs dense filterbank apply, isolated from the STFT: 128 mel
+// bands over a 1-second spectrogram.
+void BM_FilterbankBanded(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto fb = dsp::mel_filterbank(128, 2048, 22050.0);
+  dsp::Matrix power(fb.cols(), 44);
+  for (std::size_t r = 0; r < power.rows(); ++r)
+    for (std::size_t c = 0; c < power.cols(); ++c)
+      power(r, c) = rng.uniform(0.0, 10.0);
+  const dsp::BandedFilterbank banded(fb);
+  for (auto _ : state) {
+    auto m = banded.apply(power);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.counters["nnz"] = static_cast<double>(banded.nonzeros());
+}
+BENCHMARK(BM_FilterbankBanded);
+
+void BM_FilterbankDense(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto fb = dsp::mel_filterbank(128, 2048, 22050.0);
+  dsp::Matrix power(fb.cols(), 44);
+  for (std::size_t r = 0; r < power.rows(); ++r)
+    for (std::size_t c = 0; c < power.cols(); ++c)
+      power(r, c) = rng.uniform(0.0, 10.0);
+  for (auto _ : state) {
+    auto m = dsp::apply_filterbank(fb, power);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.counters["dense"] = static_cast<double>(fb.rows() * fb.cols());
+}
+BENCHMARK(BM_FilterbankDense);
 
 void BM_AudioSynthesis(benchmark::State& state) {
   audio::BeeAudioSynth synth;
@@ -73,6 +169,23 @@ void BM_CnnForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnnForward)->Arg(20)->Arg(50)->Arg(100);
+
+// CNN forward with the naive 6-deep convolution loop (gemm_conv off) —
+// the GEMM comparison baseline.
+void BM_CnnForwardNaive(benchmark::State& state) {
+  ScopedKernels scoped(dsp::KernelConfig::reference());
+  const auto side = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  auto net = ml::make_queen_cnn(rng, 8, side);
+  ml::Tensor input({1, 1, side, side});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    auto out = net.forward(input, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CnnForwardNaive)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_SvmDecision(benchmark::State& state) {
   util::Rng rng(5);

@@ -4,7 +4,9 @@
 # Usage: scripts/check.sh [build-dir]        (default: build)
 #
 # 1. Configure, build and run the full test suite.
-# 2. Docs link-check:
+# 2. Fast-path parity: fig5 anchors must be identical under the
+#    reference and fast DSP/ML kernel configs.
+# 3. Docs link-check:
 #    a. every docs/*.md path referenced from README.md exists;
 #    b. every top-level directory under src/ is mentioned in
 #       docs/ARCHITECTURE.md (the paper↔code map must stay complete).
@@ -32,6 +34,30 @@ if cmp -s "$tmp/t1.csv" "$tmp/t4.csv"; then
 else
   echo "  MISMATCH  sweep results depend on the thread count"
   diff "$tmp/t1.csv" "$tmp/t4.csv" || true
+  fail=1
+fi
+
+echo
+echo "== fig5: fast-vs-reference kernel parity on reported anchors =="
+fig5_args="clips=24 clip_seconds=0.6 epochs=1 sides=20,40 seed=7"
+# shellcheck disable=SC2086  # word splitting of fig5_args is intended
+"$repo/$build/bench/fig5_model_energy_accuracy" $fig5_args \
+  kernels=reference > "$tmp/fig5_ref.txt"
+# shellcheck disable=SC2086
+"$repo/$build/bench/fig5_model_energy_accuracy" $fig5_args \
+  kernels=fast > "$tmp/fig5_fast.txt"
+# The anchor lines ("... paper X measured Y (Z%)") carry every value the
+# bench reports at its printed precision; they must not move when the
+# fast kernels replace the naive ones.
+grep 'paper.*measured' "$tmp/fig5_ref.txt" > "$tmp/anchors_ref.txt"
+grep 'paper.*measured' "$tmp/fig5_fast.txt" > "$tmp/anchors_fast.txt"
+if [ -s "$tmp/anchors_ref.txt" ] \
+    && cmp -s "$tmp/anchors_ref.txt" "$tmp/anchors_fast.txt"; then
+  echo "  ok  $(wc -l < "$tmp/anchors_ref.txt") anchor lines identical" \
+       "for kernels=reference and kernels=fast"
+else
+  echo "  MISMATCH  fig5 anchors differ between kernel configs"
+  diff "$tmp/anchors_ref.txt" "$tmp/anchors_fast.txt" || true
   fail=1
 fi
 

@@ -7,6 +7,7 @@
 #include "dsp/features.hpp"
 #include "dsp/mel.hpp"
 #include "dsp/stft.hpp"
+#include "util/parallel.hpp"
 
 namespace beesim::audio {
 
@@ -29,33 +30,53 @@ QueenDataset generate_queen_dataset(const DatasetParams& params) {
   dsp::MelSpectrogram mel(params.mel);
   util::Rng rng(params.seed);
 
+  const auto count = static_cast<std::size_t>(params.count);
   QueenDataset ds;
   ds.mel_params = params.mel;
-  ds.examples.reserve(static_cast<std::size_t>(params.count));
-  for (int i = 0; i < params.count; ++i) {
-    const bool queen = (i % 2) == 0;  // balanced, interleaved classes
-    const auto clip = synth.synthesize(queen, params.clip_seconds, rng);
-    QueenExample ex;
-    ex.queen_present = queen;
-    ex.mel_db = dsp::power_to_db(mel.compute(clip));
-    ex.features.resize(ex.mel_db.rows());
-    for (std::size_t m = 0; m < ex.mel_db.rows(); ++m) {
-      double acc = 0.0;
-      for (std::size_t f = 0; f < ex.mel_db.cols(); ++f)
-        acc += ex.mel_db(m, f);
-      ex.features[m] = acc / static_cast<double>(ex.mel_db.cols());
+  ds.examples.resize(count);
+
+  // Featurization (STFT -> mel -> dB -> descriptors) dominates dataset
+  // generation and is independent per clip, so it runs batched across
+  // util::parallel_for. Synthesis consumes the shared RNG stream and
+  // stays in serial order, which keeps the dataset bit-identical to a
+  // sequential build; clips are synthesized one block at a time so raw
+  // audio memory stays bounded by the block, not the corpus (the paper's
+  // 1647 x 10 s corpus would be ~3 GB).
+  const std::size_t block =
+      std::min<std::size_t>(count,
+                            std::max<unsigned>(2u, 2 * util::default_thread_count()));
+  std::vector<std::vector<double>> clips(block);
+  for (std::size_t start = 0; start < count; start += block) {
+    const std::size_t in_block = std::min(block, count - start);
+    for (std::size_t j = 0; j < in_block; ++j) {
+      const bool queen =
+          ((start + j) % 2) == 0;  // balanced, interleaved classes
+      clips[j] = synth.synthesize(queen, params.clip_seconds, rng);
     }
-    if (params.extended_features) {
-      dsp::StftParams sp;
-      sp.n_fft = params.mel.n_fft;
-      sp.hop = params.mel.hop;
-      const auto power = dsp::stft_power(clip, sp);
-      const auto descriptor =
-          dsp::spectral_descriptor(power, params.mel.sample_rate);
-      ex.features.insert(ex.features.end(), descriptor.begin(),
-                         descriptor.end());
-    }
-    ds.examples.push_back(std::move(ex));
+    util::parallel_for(in_block, [&](std::size_t j) {
+      const std::size_t i = start + j;
+      QueenExample& ex = ds.examples[i];
+      ex.queen_present = (i % 2) == 0;
+      ex.mel_db = dsp::power_to_db(mel.compute(clips[j]));
+      ex.features.resize(ex.mel_db.rows());
+      for (std::size_t m = 0; m < ex.mel_db.rows(); ++m) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < ex.mel_db.cols(); ++f)
+          acc += ex.mel_db(m, f);
+        ex.features[m] = acc / static_cast<double>(ex.mel_db.cols());
+      }
+      if (params.extended_features) {
+        dsp::StftParams sp;
+        sp.n_fft = params.mel.n_fft;
+        sp.hop = params.mel.hop;
+        const auto power = dsp::stft_power(clips[j], sp);
+        const auto descriptor =
+            dsp::spectral_descriptor(power, params.mel.sample_rate);
+        ex.features.insert(ex.features.end(), descriptor.begin(),
+                           descriptor.end());
+      }
+      clips[j] = std::vector<double>();  // release the raw audio
+    });
   }
   return ds;
 }

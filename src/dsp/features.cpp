@@ -146,10 +146,78 @@ std::vector<double> summarize(
 
 std::vector<double> spectral_descriptor(const Matrix& power,
                                         double sample_rate) {
-  return summarize({spectral_centroid(power, sample_rate),
-                    spectral_bandwidth(power, sample_rate),
-                    spectral_rolloff(power, sample_rate),
-                    spectral_flatness(power), spectral_flux(power)});
+  // Fused implementation: the naive form (five independent calls) scans
+  // every column ~7 times — bandwidth recomputes the centroid series and
+  // every descriptor re-derives the column total. Here each frame is
+  // scanned twice (once for the totals/centroid/flatness accumulators,
+  // once for the centroid-dependent terms), sharing the column total
+  // `den` everywhere it appears. Accumulation orders match the
+  // individual functions exactly, so the output is bit-identical to
+  // summarize({spectral_centroid, ..., spectral_flux}) — guarded by
+  // test_dsp_features.
+  check_input(power, sample_rate);
+  constexpr double kFraction = 0.85;  // spectral_rolloff default
+  const std::size_t frames = power.cols();
+  const std::size_t rows = power.rows();
+  const auto bins = static_cast<double>(rows);
+
+  std::vector<double> centroid(frames);
+  std::vector<double> bandwidth(frames);
+  std::vector<double> rolloff(frames);
+  std::vector<double> flatness(frames);
+  std::vector<double> flux(frames, 0.0);
+  std::vector<double> prev(rows, 0.0);
+  std::vector<double> cur(rows, 0.0);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    double num = 0.0;
+    double den = 0.0;
+    double log_sum = 0.0;
+    double eps_sum = 0.0;
+    for (std::size_t b = 0; b < rows; ++b) {
+      const double p = power(b, f);
+      num += p * bin_freq(b, rows, sample_rate);
+      den += p;
+      const double pe = p + kEps;
+      log_sum += std::log(pe);
+      eps_sum += pe;
+    }
+    const double c = den > kEps ? num / den : 0.0;
+    centroid[f] = c;
+    flatness[f] = std::exp(log_sum / bins) / (eps_sum / bins);
+
+    const double target = kFraction * den;  // den == the rolloff total
+    const double norm = std::max(den, kEps);
+    double bw_num = 0.0;
+    double acc = 0.0;
+    std::size_t roll = rows - 1;
+    bool rolled = false;
+    for (std::size_t b = 0; b < rows; ++b) {
+      const double p = power(b, f);
+      const double d = bin_freq(b, rows, sample_rate) - c;
+      bw_num += p * d * d;
+      if (!rolled) {
+        acc += p;
+        if (acc >= target && den > kEps) {
+          roll = b;
+          rolled = true;
+        }
+      }
+      cur[b] = p / norm;
+    }
+    bandwidth[f] = den > kEps ? std::sqrt(bw_num / den) : 0.0;
+    rolloff[f] = bin_freq(roll, rows, sample_rate);
+    if (f > 0) {
+      double fx = 0.0;
+      for (std::size_t b = 0; b < rows; ++b) {
+        const double d = cur[b] - prev[b];
+        fx += d * d;
+      }
+      flux[f] = std::sqrt(fx);
+    }
+    std::swap(prev, cur);
+  }
+  return summarize({centroid, bandwidth, rolloff, flatness, flux});
 }
 
 }  // namespace beesim::dsp

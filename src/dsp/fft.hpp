@@ -1,6 +1,7 @@
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <vector>
 
 namespace beesim::dsp {
@@ -10,12 +11,17 @@ using Complex = std::complex<double>;
 /// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
 /// power of two. Forward transform uses the e^{-i2pi/N} convention
 /// (matching numpy/librosa); the inverse divides by N.
+///
+/// This is the *reference* kernel: twiddles are recomputed (and
+/// incrementally drifted) every call. Hot paths use FftPlan/RealFftPlan,
+/// which precompute the bit-reversal permutation and exact per-stage
+/// twiddle tables once and reuse them across every STFT frame.
 void fft(std::vector<Complex>& data);
 void ifft(std::vector<Complex>& data);
 
 /// FFT of a real signal; returns the non-redundant half spectrum of
 /// length n/2 + 1 (like numpy.fft.rfft). `signal.size()` must be a power
-/// of two.
+/// of two. Reference kernel (full complex transform of the real input).
 std::vector<Complex> rfft(const std::vector<double>& signal);
 
 /// True if n is a power of two (and nonzero).
@@ -25,5 +31,58 @@ constexpr bool is_power_of_two(std::size_t n) noexcept {
 
 /// Smallest power of two >= n.
 std::size_t next_power_of_two(std::size_t n) noexcept;
+
+/// Precomputed forward complex FFT of a fixed power-of-two size:
+/// bit-reversal permutation plus per-stage twiddle tables, built once and
+/// reused for every transform. The plan is immutable after construction,
+/// so one plan can serve many threads concurrently; forward() does no
+/// heap allocation.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform of exactly size() elements.
+  void forward(Complex* data) const noexcept;
+  void forward(std::vector<Complex>& data) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;  // permutation: i -> reversed(i)
+  std::vector<Complex> twiddles_;    // stages concatenated, n_ - 1 entries
+};
+
+/// Real-input forward FFT of a fixed power-of-two size N: packs the N
+/// real samples into an N/2 complex sequence, runs an N/2 complex FFT
+/// through an FftPlan, and untangles the even/odd spectra with a
+/// precomputed e^{-i2pi k/N} post-processing table. ~2x the work saved
+/// versus transforming the real signal as N complex points, on top of
+/// the table-lookup twiddles. Thread-safe: callers pass their own
+/// scratch buffer (scratch_size() complex values), so one plan serves
+/// every frame of a parallel STFT.
+class RealFftPlan {
+ public:
+  explicit RealFftPlan(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t bins() const noexcept { return n_ / 2 + 1; }
+  std::size_t scratch_size() const noexcept { return n_ / 2; }
+
+  /// out[0..bins()) = rfft(in[0..size())); scratch holds scratch_size()
+  /// elements (unused for n == 1). No heap allocation.
+  void transform(const double* in, Complex* out, Complex* scratch) const;
+
+  /// |rfft(in)|^2 into out_power[0..bins()) — the STFT inner loop.
+  void power(const double* in, double* out_power, Complex* scratch) const;
+
+  /// Convenience allocating form (tests, one-off callers).
+  std::vector<Complex> transform(const std::vector<double>& in) const;
+
+ private:
+  std::size_t n_;
+  FftPlan half_;               // complex plan of size n/2 (n >= 2)
+  std::vector<Complex> post_;  // e^{-i2pi k/n}, k = 0 .. n/4
+};
 
 }  // namespace beesim::dsp

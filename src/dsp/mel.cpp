@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/catalog.hpp"
+
 namespace beesim::dsp {
 
 double hz_to_mel(double hz) noexcept {
@@ -70,23 +72,75 @@ Matrix apply_filterbank(const Matrix& filterbank, const Matrix& power) {
   return out;
 }
 
+BandedFilterbank::BandedFilterbank(const Matrix& dense) : bins_(dense.cols()) {
+  if (dense.empty())
+    throw std::invalid_argument("BandedFilterbank: empty filterbank");
+  first_.reserve(dense.rows());
+  offset_.reserve(dense.rows() + 1);
+  offset_.push_back(0);
+  for (std::size_t m = 0; m < dense.rows(); ++m) {
+    std::size_t first = bins_;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < bins_; ++b) {
+      if (dense(m, b) != 0.0) {
+        if (first == bins_) first = b;
+        last = b;
+      }
+    }
+    if (first == bins_) first = 0;  // all-zero band: empty range
+    else {
+      for (std::size_t b = first; b <= last; ++b)
+        weights_.push_back(dense(m, b));
+    }
+    first_.push_back(first);
+    offset_.push_back(weights_.size());
+  }
+  if (obs::enabled()) {
+    static auto& nnz = obs::registry().gauge(obs::metric::kDspMelBandNnz);
+    nnz.set(static_cast<double>(weights_.size()));
+  }
+}
+
+Matrix BandedFilterbank::apply(const Matrix& power) const {
+  if (bins_ != power.rows())
+    throw std::invalid_argument(
+        "BandedFilterbank::apply: filterbank bins != spectrum bins");
+  Matrix out(bands(), power.cols());
+  const std::size_t frames = power.cols();
+  for (std::size_t m = 0; m < bands(); ++m) {
+    const std::size_t first = first_[m];
+    const std::size_t count = offset_[m + 1] - offset_[m];
+    const double* w = weights_.data() + offset_[m];
+    double* out_row = out.data() + m * frames;
+    for (std::size_t j = 0; j < count; ++j) {
+      // Triangular bands have no interior zeros, but skip them anyway so
+      // the accumulation order matches apply_filterbank bit for bit on
+      // any input matrix.
+      if (w[j] == 0.0) continue;
+      const double* in_row = power.data() + (first + j) * frames;
+      for (std::size_t f = 0; f < frames; ++f)
+        out_row[f] += w[j] * in_row[f];
+    }
+  }
+  return out;
+}
+
 Matrix power_to_db(const Matrix& power, double top_db) {
   if (power.empty()) throw std::invalid_argument("power_to_db: empty");
   if (top_db <= 0.0) throw std::invalid_argument("power_to_db: top_db <= 0");
   constexpr double kAmin = 1e-10;
   const double ref = std::max(power.max(), kAmin);
+  // The max element maps to 10*log10(ref/ref) = 0 dB exactly, so the dB
+  // peak is always 0 and the clamp floor is -top_db; one fused pass
+  // replaces the old compute-then-rescan-for-peak-then-clamp sequence
+  // (equivalence-tested against it in test_dsp_kernels).
   Matrix out(power.rows(), power.cols());
-  double peak = -1e300;
   for (std::size_t r = 0; r < power.rows(); ++r)
     for (std::size_t c = 0; c < power.cols(); ++c) {
       const double db =
           10.0 * std::log10(std::max(power(r, c), kAmin) / ref);
-      out(r, c) = db;
-      peak = std::max(peak, db);
+      out(r, c) = std::max(db, -top_db);
     }
-  for (std::size_t r = 0; r < out.rows(); ++r)
-    for (std::size_t c = 0; c < out.cols(); ++c)
-      out(r, c) = std::max(out(r, c), peak - top_db);
   return out;
 }
 

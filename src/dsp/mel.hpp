@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "dsp/matrix.hpp"
 
 namespace beesim::dsp {
@@ -17,11 +20,38 @@ Matrix mel_filterbank(std::size_t n_mels, std::size_t n_fft,
                       double fmax = 0.0 /* 0 => sample_rate/2 */);
 
 /// Applies the filterbank to a power spectrogram (bins x frames),
-/// producing a (n_mels x frames) mel spectrogram.
+/// producing a (n_mels x frames) mel spectrogram. Reference kernel: scans
+/// every bin of every band (each triangular band is nonzero on only a
+/// narrow bin range, so the dense matrix is >90% zeros).
 Matrix apply_filterbank(const Matrix& filterbank, const Matrix& power);
 
+/// Sparse (banded) form of a triangular filterbank: per band, the first
+/// nonzero bin and the packed weights up to the last nonzero bin. Built
+/// once per MelSpectrogram; apply() touches only the nonzero bins and is
+/// bit-identical to apply_filterbank on the dense matrix it was built
+/// from (same accumulation order, zero weights skipped in both).
+class BandedFilterbank {
+ public:
+  explicit BandedFilterbank(const Matrix& dense);
+
+  std::size_t bands() const noexcept { return first_.size(); }
+  std::size_t bins() const noexcept { return bins_; }
+  /// Stored (nonzero-range) weight count across all bands.
+  std::size_t nonzeros() const noexcept { return weights_.size(); }
+
+  Matrix apply(const Matrix& power) const;
+
+ private:
+  std::size_t bins_ = 0;
+  std::vector<std::size_t> first_;    // first nonzero bin per band
+  std::vector<std::size_t> offset_;   // bands() + 1 offsets into weights_
+  std::vector<double> weights_;
+};
+
 /// Converts a power matrix to decibels relative to its maximum, with an
-/// 80 dB floor (librosa.power_to_db defaults).
+/// 80 dB floor (librosa.power_to_db defaults). Since the reference is the
+/// matrix maximum, the dB peak is exactly 0 and the floor is -top_db;
+/// computed in a single fused pass.
 Matrix power_to_db(const Matrix& power, double top_db = 80.0);
 
 }  // namespace beesim::dsp

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dsp/kernel_config.hpp"
 #include "dsp/mel.hpp"
 
 namespace beesim::dsp {
@@ -12,14 +13,16 @@ MelSpectrogram::MelSpectrogram(const Params& params)
     : params_(params),
       filterbank_(mel_filterbank(params.n_mels, params.n_fft,
                                  params.sample_rate, params.fmin,
-                                 params.fmax)) {}
+                                 params.fmax)),
+      banded_(filterbank_) {}
 
 Matrix MelSpectrogram::compute(const std::vector<double>& signal) const {
   StftParams sp;
   sp.n_fft = params_.n_fft;
   sp.hop = params_.hop;
   const Matrix power = stft_power(signal, sp);
-  return apply_filterbank(filterbank_, power);
+  return kernel_config().banded_mel ? banded_.apply(power)
+                                    : apply_filterbank(filterbank_, power);
 }
 
 Matrix MelSpectrogram::compute_image(const std::vector<double>& signal,

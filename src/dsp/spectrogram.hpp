@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "dsp/matrix.hpp"
+#include "dsp/mel.hpp"
 #include "dsp/stft.hpp"
 
 namespace beesim::dsp {
@@ -39,10 +40,14 @@ class MelSpectrogram {
       const std::vector<double>& signal) const;
 
   const Params& params() const noexcept { return params_; }
+  const Matrix& filterbank() const noexcept { return filterbank_; }
 
  private:
   Params params_;
   Matrix filterbank_;
+  /// Sparse view of filterbank_, used when KernelConfig::banded_mel is
+  /// set (bit-identical to the dense apply).
+  BandedFilterbank banded_;
 };
 
 }  // namespace beesim::dsp

@@ -1,28 +1,92 @@
 #include "dsp/stft.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "dsp/kernel_config.hpp"
 #include "dsp/window.hpp"
+#include "obs/catalog.hpp"
+#include "util/parallel.hpp"
 
 namespace beesim::dsp {
 namespace {
 
-/// Reflect-pads the signal by pad samples on each side.
+/// Reflect-pads the signal by pad samples on each side. Librosa-style
+/// reflection mirrors around the end samples without repeating them, so
+/// it needs pad <= signal.size() - 1; shorter signals cannot be padded
+/// (the old modulo indexing silently wrapped to a non-reflect padding).
 std::vector<double> reflect_pad(const std::vector<double>& x,
                                 std::size_t pad) {
-  if (x.size() < 2)
-    throw std::invalid_argument("stft: signal too short to pad");
+  if (x.size() < 2 || pad > x.size() - 1)
+    throw std::invalid_argument(
+        "stft: signal too short to reflect-pad (need length > n_fft/2)");
   std::vector<double> out;
   out.reserve(x.size() + 2 * pad);
-  for (std::size_t i = pad; i > 0; --i)
-    out.push_back(x[i % (x.size() - 1)]);
+  for (std::size_t i = pad; i > 0; --i) out.push_back(x[i]);
   out.insert(out.end(), x.begin(), x.end());
-  for (std::size_t i = 0; i < pad; ++i) {
-    const std::size_t idx = x.size() - 2 - (i % (x.size() - 1));
-    out.push_back(x[idx]);
-  }
+  for (std::size_t i = 0; i < pad; ++i) out.push_back(x[x.size() - 2 - i]);
   return out;
+}
+
+void count_frames(std::size_t frames) {
+  if (obs::enabled()) {
+    static auto& counter =
+        obs::registry().counter(obs::metric::kDspStftFrames);
+    counter.inc(frames);
+  }
+}
+
+/// Reference frame loop: full complex FFT of the real frame, twiddles
+/// recomputed per call, one spectrum allocation per frame.
+void stft_frames_reference(const std::vector<double>& padded,
+                           const std::vector<double>& window,
+                           const StftParams& params, std::size_t frames,
+                           std::size_t bins, Matrix& out) {
+  std::vector<double> frame(params.n_fft);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t start = f * params.hop;
+    for (std::size_t i = 0; i < params.n_fft; ++i)
+      frame[i] = padded[start + i] * window[i];
+    const auto spectrum = rfft(frame);
+    for (std::size_t b = 0; b < bins; ++b)
+      out(b, f) = std::norm(spectrum[b]);
+  }
+}
+
+/// Fast frame loop: one RealFftPlan shared by all frames, frames split
+/// into contiguous chunks across util::parallel_for, per-chunk scratch
+/// buffers and no per-frame heap allocation. Every frame's output is
+/// independent, so the result is bit-identical for any chunk count.
+void stft_frames_fast(const std::vector<double>& padded,
+                      const std::vector<double>& window,
+                      const StftParams& params, std::size_t frames,
+                      std::size_t bins, Matrix& out) {
+  const RealFftPlan plan(params.n_fft);
+  const std::size_t max_chunks =
+      kernel_config().parallel_stft && !util::in_parallel_region()
+          ? util::default_thread_count()
+          : 1;
+  // Keep chunks coarse: at least 8 frames per chunk so scratch setup and
+  // scheduling stay negligible against the FFT work.
+  const std::size_t chunks = std::clamp<std::size_t>(
+      std::min<std::size_t>(max_chunks, frames / 8), 1, frames);
+  const std::size_t per_chunk = (frames + chunks - 1) / chunks;
+
+  util::parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, frames);
+    std::vector<double> frame(params.n_fft);
+    std::vector<Complex> scratch(plan.scratch_size());
+    std::vector<double> power(bins);
+    for (std::size_t f = begin; f < end; ++f) {
+      const std::size_t start = f * params.hop;
+      for (std::size_t i = 0; i < params.n_fft; ++i)
+        frame[i] = padded[start + i] * window[i];
+      plan.power(frame.data(), power.data(), scratch.data());
+      for (std::size_t b = 0; b < bins; ++b) out(b, f) = power[b];
+    }
+  });
 }
 
 }  // namespace
@@ -48,15 +112,11 @@ Matrix stft_power(const std::vector<double>& signal,
 
   const std::vector<double> window = hann_window(params.n_fft);
   Matrix out(bins, frames);
-  std::vector<double> frame(params.n_fft);
-  for (std::size_t f = 0; f < frames; ++f) {
-    const std::size_t start = f * params.hop;
-    for (std::size_t i = 0; i < params.n_fft; ++i)
-      frame[i] = padded[start + i] * window[i];
-    const auto spectrum = rfft(frame);
-    for (std::size_t b = 0; b < bins; ++b)
-      out(b, f) = std::norm(spectrum[b]);
-  }
+  if (kernel_config().planned_fft)
+    stft_frames_fast(padded, window, params, frames, bins, out);
+  else
+    stft_frames_reference(padded, window, params, frames, bins, out);
+  count_frames(frames);
   return out;
 }
 

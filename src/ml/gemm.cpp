@@ -1,0 +1,89 @@
+#include "ml/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace beesim::ml {
+namespace {
+
+constexpr std::size_t kRowPanel = 4;
+
+/// C panel of `rows` (<= kRowPanel) rows: acc[r][j] over the full K
+/// extent. The j loop is the vector axis; a[r][p] is a broadcast scalar.
+void panel(std::size_t rows, std::size_t n, std::size_t k, const float* a,
+           std::size_t lda, const float* b, const float* bias, float* c) {
+  // Column tiles sized to keep kRowPanel accumulator rows in registers /
+  // L1 while B streams through.
+  constexpr std::size_t kColTile = 64;
+  float acc[kRowPanel][kColTile];
+  for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+    const std::size_t jn = std::min(kColTile, n - j0);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n + j0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float av = a[r * lda + p];
+        for (std::size_t j = 0; j < jn; ++j) acc[r][j] += av * brow[j];
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* crow = c + r * n + j0;
+      const float bv = bias[r];
+      for (std::size_t j = 0; j < jn; ++j) crow[j] = bv + acc[r][j];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_bias(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                const float* b, const float* bias, float* c) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kRowPanel) {
+    const std::size_t rows = std::min(kRowPanel, m - i0);
+    panel(rows, n, k, a + i0 * k, k, b, bias + i0, c + i0 * n);
+  }
+}
+
+void im2col_same(const float* image, std::size_t channels,
+                 std::size_t height, std::size_t width, std::size_t kernel,
+                 std::vector<float>& out) {
+  const std::size_t pad = kernel / 2;
+  const std::size_t cols = height * width;
+  out.resize(channels * kernel * kernel * cols);
+  float* dst = out.data();
+  for (std::size_t ic = 0; ic < channels; ++ic) {
+    const float* plane = image + ic * cols;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        // Row (ic, ky, kx): for each output y the source row is
+        // y + ky - pad, shifted horizontally by kx - pad, zero outside.
+        for (std::size_t y = 0; y < height; ++y) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
+            std::memset(dst, 0, width * sizeof(float));
+            dst += width;
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(iy) * width;
+          const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kx) -
+                                       static_cast<std::ptrdiff_t>(pad);
+          if (shift < 0) {
+            const auto lead =
+                std::min(static_cast<std::size_t>(-shift), width);
+            std::memset(dst, 0, lead * sizeof(float));
+            std::memcpy(dst + lead, src, (width - lead) * sizeof(float));
+          } else {
+            const auto s = std::min(static_cast<std::size_t>(shift), width);
+            std::memcpy(dst, src + s, (width - s) * sizeof(float));
+            std::memset(dst + width - s, 0, s * sizeof(float));
+          }
+          dst += width;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace beesim::ml

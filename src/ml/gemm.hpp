@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace beesim::ml {
+
+/// Row-major single-precision GEMM with a broadcast row bias:
+///   C[i, j] = bias[i] + sum_k A[i, k] * B[k, j]
+/// A is (m x k), B is (k x n), C is (m x n, fully overwritten).
+/// Register-blocked: 4-row panels accumulate into local tiles over the
+/// full K extent, so each B row is streamed once per panel and the inner
+/// loop vectorizes. This is the conv fast path's compute kernel.
+void sgemm_bias(std::size_t m, std::size_t n, std::size_t k,
+                const float* a, const float* b, const float* bias,
+                float* c);
+
+/// Lowers one (channels x height x width) image to the im2col matrix of a
+/// stride-1 "same"-padded kernel-sized convolution: row (ic*kernel + ky)
+/// *kernel + kx, column y*width + x holds input(ic, y+ky-pad, x+kx-pad)
+/// or 0 outside the image. `out` is resized to
+/// (channels*kernel*kernel) x (height*width).
+void im2col_same(const float* image, std::size_t channels,
+                 std::size_t height, std::size_t width, std::size_t kernel,
+                 std::vector<float>& out);
+
+}  // namespace beesim::ml

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernel_config.hpp"
+#include "ml/gemm.hpp"
+#include "obs/catalog.hpp"
+
 namespace beesim::ml {
 namespace {
 
@@ -50,6 +54,27 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   const float* in = input.data();
   float* o = out.data();
   const float* wt = weights_.data();
+
+  if (dsp::kernel_config().gemm_conv) {
+    // im2col + GEMM fast path: weights are already laid out as the
+    // (out_ch, in_ch*k*k) matrix; the lowered image supplies the
+    // (in_ch*k*k, h*w) right-hand side.
+    const std::size_t cols = h * w;
+    const std::size_t kdim = in_ch_ * k_ * k_;
+    for (std::size_t b = 0; b < n; ++b) {
+      im2col_same(in + b * in_ch_ * cols, in_ch_, h, w, k_, im2col_buf_);
+      sgemm_bias(out_ch_, cols, kdim, wt, im2col_buf_.data(), bias_.data(),
+                 o + b * out_ch_ * cols);
+    }
+    if (obs::enabled()) {
+      static auto& flops =
+          obs::registry().counter(obs::metric::kMlConvGemmFlops);
+      flops.inc(2 * n * out_ch_ * cols * kdim);
+    }
+    if (train) cached_input_ = input;
+    return out;
+  }
+
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t oc = 0; oc < out_ch_; ++oc) {
       const float bias = bias_[oc];

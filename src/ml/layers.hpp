@@ -33,6 +33,11 @@ class Layer {
 
 /// 2-D convolution, stride 1, "same" zero padding, square kernel. He
 /// initialization. Input/output layout: (N, C, H, W).
+///
+/// The forward pass has two implementations selected by
+/// dsp::KernelConfig::gemm_conv: an im2col + register-blocked GEMM fast
+/// path (the weight matrix (out, in*k*k) times the lowered image), and
+/// the naive 6-deep loop nest kept as the reference.
 class Conv2d final : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -61,6 +66,7 @@ class Conv2d final : public Layer {
   Tensor vel_weights_;
   Tensor vel_bias_;
   Tensor cached_input_;
+  std::vector<float> im2col_buf_;  // reused across forward calls
 };
 
 /// Element-wise ReLU.

@@ -17,7 +17,8 @@ void register_catalog(Registry& reg) {
         m::kOrchestratorPlacementsCloud, m::kFleetCycles,
         m::kFleetRequestsEdge, m::kFleetRequestsCloud,
         m::kFleetRequestsDropped, m::kFleetHivesSimulated,
-        m::kFleetSweepPoints, m::kLossSaturatedSlots,
+        m::kFleetSweepPoints, m::kDspFftPlanReuses, m::kDspStftFrames,
+        m::kMlConvGemmFlops, m::kLossSaturatedSlots,
         m::kLossDropoutDraws, m::kLossDropoutClients, m::kServerSlotPlans,
         m::kClientSpecsBuilt, m::kClientCycleEvaluations, m::kLinkTransfers,
         m::kLinkBytes, m::kRetransmitTransfers, m::kRetransmitChunks,
@@ -28,8 +29,9 @@ void register_catalog(Registry& reg) {
     reg.counter(name);
   for (const char* name :
        {m::kEngineMaxQueueDepth, m::kFleetMaxServersUsed,
-        m::kFleetSweepThreads, m::kServerMaxSlotsPerCycle,
-        m::kBatteryChargeJoules, m::kBatteryDischargeJoules})
+        m::kFleetSweepThreads, m::kDspMelBandNnz,
+        m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
+        m::kBatteryDischargeJoules})
     reg.gauge(name);
   reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
 }

@@ -72,6 +72,14 @@ inline constexpr const char* kClientSpecsBuilt =
 inline constexpr const char* kClientCycleEvaluations =
     "core.client.cycle_evaluations";
 
+// dsp — queen-detection signal-processing kernels (Section V front end).
+inline constexpr const char* kDspFftPlanReuses = "dsp.fft.plan_reuses";
+inline constexpr const char* kDspStftFrames = "dsp.stft.frames";
+inline constexpr const char* kDspMelBandNnz = "dsp.mel.band_nnz";
+
+// ml::Conv2d — GEMM convolution fast path.
+inline constexpr const char* kMlConvGemmFlops = "ml.conv.gemm_flops";
+
 // net::Link / net::RetransmittingLink.
 inline constexpr const char* kLinkTransfers = "net.link.transfers";
 inline constexpr const char* kLinkBytes = "net.link.bytes";

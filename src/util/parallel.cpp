@@ -9,11 +9,18 @@
 #include <vector>
 
 namespace beesim::util {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
 
 unsigned default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+bool in_parallel_region() noexcept { return t_in_parallel_region; }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
@@ -33,6 +40,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   std::size_t first_error_index = n;
 
   auto worker = [&] {
+    t_in_parallel_region = true;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;

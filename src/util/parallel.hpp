@@ -23,4 +23,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
 /// The worker count parallel_for(…, 0) would use.
 unsigned default_thread_count();
 
+/// True when the calling thread is a parallel_for worker. Parallel
+/// kernels that can appear on both sides of a parallel_for (e.g. the
+/// frame-parallel STFT inside the clip-parallel dataset featurizer) check
+/// this and run serially when nested, so worker counts never multiply.
+bool in_parallel_region() noexcept;
+
 }  // namespace beesim::util

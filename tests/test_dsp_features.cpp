@@ -124,3 +124,23 @@ TEST(SpectralFeatures, RejectEmptyInput) {
   EXPECT_THROW(dsp::spectral_flatness(empty), std::invalid_argument);
   EXPECT_THROW(dsp::spectral_flux(empty), std::invalid_argument);
 }
+
+TEST(SpectralFeatures, DescriptorBitIdenticalToIndividualSeries) {
+  // The fused single-pass descriptor must reproduce the composition of
+  // the five public per-series functions exactly: the shared totals are
+  // accumulated in the same order, so outputs are bit-identical.
+  for (const auto& power : {tone_power(500.0), noise_power(9)}) {
+    const double sr = 22050.0;
+    const auto expected = dsp::summarize({
+        dsp::spectral_centroid(power, sr),
+        dsp::spectral_bandwidth(power, sr),
+        dsp::spectral_rolloff(power, sr),
+        dsp::spectral_flatness(power),
+        dsp::spectral_flux(power),
+    });
+    const auto fused = dsp::spectral_descriptor(power, sr);
+    ASSERT_EQ(fused.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(fused[i], expected[i]) << "component " << i;
+  }
+}

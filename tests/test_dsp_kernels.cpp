@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/kernel_config.hpp"
+#include "dsp/mel.hpp"
+#include "dsp/spectrogram.hpp"
+#include "dsp/stft.hpp"
+#include "ml/layers.hpp"
+#include "ml/network.hpp"
+#include "obs/catalog.hpp"
+#include "util/rng.hpp"
+
+// Equivalence tests between the fast-path kernels (dsp::KernelConfig) and
+// the naive reference implementations they replace: bit-identical where
+// the accumulation order is unchanged (banded filterbank, fused
+// power_to_db, STFT chunking), <= 1e-9 relative where the FFT algorithm
+// differs (planned real FFT vs full complex FFT), and float tolerance for
+// the GEMM convolution.
+
+namespace dsp = beesim::dsp;
+namespace ml = beesim::ml;
+
+namespace {
+
+/// Restores the global kernel config on scope exit so test order never
+/// leaks a reference config into other suites.
+class KernelConfigGuard {
+ public:
+  KernelConfigGuard() : saved_(dsp::kernel_config()) {}
+  ~KernelConfigGuard() { dsp::set_kernel_config(saved_); }
+
+ private:
+  dsp::KernelConfig saved_;
+};
+
+std::vector<double> random_signal(std::size_t n, beesim::util::Rng& rng) {
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+/// Max |a - b| over the matrices, for scale-relative comparisons.
+void expect_matrices_close(const dsp::Matrix& a, const dsp::Matrix& b,
+                           double rel_tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  double scale = 1.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      scale = std::max(scale, std::abs(b(r, c)));
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      ASSERT_NEAR(a(r, c), b(r, c), rel_tol * scale)
+          << "at (" << r << ", " << c << ")";
+}
+
+void expect_matrices_identical(const dsp::Matrix& a, const dsp::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      ASSERT_EQ(a(r, c), b(r, c)) << "at (" << r << ", " << c << ")";
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ KernelConfig
+
+TEST(KernelConfig, ParseNames) {
+  EXPECT_TRUE(dsp::kernel_config_from_name("fast").planned_fft);
+  EXPECT_FALSE(dsp::kernel_config_from_name("reference").gemm_conv);
+  EXPECT_THROW(dsp::kernel_config_from_name("turbo"), std::invalid_argument);
+}
+
+TEST(KernelConfig, DefaultIsFast) {
+  const auto& kc = dsp::kernel_config();
+  EXPECT_TRUE(kc.planned_fft);
+  EXPECT_TRUE(kc.parallel_stft);
+  EXPECT_TRUE(kc.banded_mel);
+  EXPECT_TRUE(kc.gemm_conv);
+}
+
+// ---------------------------------------------------------------- FFT plan
+
+TEST(FftPlan, MatchesReferenceFft) {
+  beesim::util::Rng rng(11);
+  for (std::size_t n : {1u, 2u, 4u, 8u, 64u, 256u, 1024u, 4096u}) {
+    std::vector<dsp::Complex> data(n);
+    for (auto& v : data) v = {rng.normal(), rng.normal()};
+    auto reference = data;
+    dsp::fft(reference);
+    const dsp::FftPlan plan(n);
+    plan.forward(data);
+    double scale = 1.0;
+    for (const auto& v : reference) scale = std::max(scale, std::abs(v));
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(std::abs(data[i] - reference[i]), 0.0, 1e-9 * scale)
+          << "n " << n << " bin " << i;
+  }
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwoAndSizeMismatch) {
+  EXPECT_THROW(dsp::FftPlan(12), std::invalid_argument);
+  const dsp::FftPlan plan(8);
+  std::vector<dsp::Complex> wrong(4);
+  EXPECT_THROW(plan.forward(wrong), std::invalid_argument);
+}
+
+TEST(RealFftPlan, MatchesReferenceRfft) {
+  beesim::util::Rng rng(12);
+  for (std::size_t n : {1u, 2u, 4u, 8u, 32u, 512u, 2048u, 4096u}) {
+    const auto signal = random_signal(n, rng);
+    const auto reference = dsp::rfft(signal);
+    const dsp::RealFftPlan plan(n);
+    const auto fast = plan.transform(signal);
+    ASSERT_EQ(fast.size(), n / 2 + 1);
+    double scale = 1.0;
+    for (const auto& v : reference) scale = std::max(scale, std::abs(v));
+    for (std::size_t b = 0; b < fast.size(); ++b)
+      ASSERT_NEAR(std::abs(fast[b] - reference[b]), 0.0, 1e-9 * scale)
+          << "n " << n << " bin " << b;
+  }
+}
+
+TEST(RealFftPlan, PureToneLandsInCorrectBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 19;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::cos(2.0 * std::numbers::pi * static_cast<double>(bin * i) /
+                    static_cast<double>(n));
+  const dsp::RealFftPlan plan(n);
+  const auto spec = plan.transform(x);
+  EXPECT_NEAR(std::abs(spec[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[bin - 3]), 0.0, 1e-9);
+}
+
+TEST(RealFftPlan, PowerMatchesTransformSquared) {
+  beesim::util::Rng rng(13);
+  const std::size_t n = 1024;
+  const auto signal = random_signal(n, rng);
+  const dsp::RealFftPlan plan(n);
+  const auto spec = plan.transform(signal);
+  std::vector<dsp::Complex> scratch(plan.scratch_size());
+  std::vector<double> power(plan.bins());
+  plan.power(signal.data(), power.data(), scratch.data());
+  for (std::size_t b = 0; b < plan.bins(); ++b)
+    ASSERT_DOUBLE_EQ(power[b], std::norm(spec[b])) << "bin " << b;
+}
+
+// -------------------------------------------------------------------- STFT
+
+TEST(StftKernels, FastMatchesReference) {
+  KernelConfigGuard guard;
+  beesim::util::Rng rng(14);
+  const auto signal = random_signal(10000, rng);
+  dsp::StftParams p;
+  p.n_fft = 1024;
+  p.hop = 256;
+
+  dsp::set_kernel_config(dsp::KernelConfig::reference());
+  const auto reference = dsp::stft_power(signal, p);
+  dsp::set_kernel_config(dsp::KernelConfig::fast());
+  const auto fast = dsp::stft_power(signal, p);
+  expect_matrices_close(fast, reference, 1e-9);
+}
+
+TEST(StftKernels, ChunkingIsBitIdentical) {
+  KernelConfigGuard guard;
+  beesim::util::Rng rng(15);
+  const auto signal = random_signal(30000, rng);
+
+  auto kc = dsp::KernelConfig::fast();
+  kc.parallel_stft = false;
+  dsp::set_kernel_config(kc);
+  const auto serial = dsp::stft_power(signal);
+  kc.parallel_stft = true;
+  dsp::set_kernel_config(kc);
+  const auto chunked = dsp::stft_power(signal);
+  expect_matrices_identical(chunked, serial);
+}
+
+TEST(StftKernels, ReflectPadShortSignalThrows) {
+  // Regression: pad >= signal length used to silently wrap the modulo
+  // index and produce a wrong (non-reflect) padding; now it must throw.
+  dsp::StftParams p;
+  p.n_fft = 256;
+  p.hop = 64;
+  for (std::size_t len : {1u, 2u, 100u, 128u}) {  // all <= n_fft/2
+    const std::vector<double> x(len, 1.0);
+    EXPECT_THROW(dsp::stft_power(x, p), std::invalid_argument)
+        << "length " << len;
+  }
+  const std::vector<double> ok(p.n_fft / 2 + 1, 1.0);
+  EXPECT_NO_THROW(dsp::stft_power(ok, p));
+}
+
+// ------------------------------------------------------------- Filterbank
+
+TEST(BandedFilterbank, MatchesDenseBitIdentical) {
+  beesim::util::Rng rng(16);
+  for (std::size_t n_mels : {16u, 128u}) {
+    const auto fb = dsp::mel_filterbank(n_mels, 2048, 22050.0);
+    dsp::Matrix power(fb.cols(), 37);
+    for (std::size_t r = 0; r < power.rows(); ++r)
+      for (std::size_t c = 0; c < power.cols(); ++c)
+        power(r, c) = rng.uniform(0.0, 10.0);
+    const dsp::BandedFilterbank banded(fb);
+    expect_matrices_identical(banded.apply(power),
+                              dsp::apply_filterbank(fb, power));
+  }
+}
+
+TEST(BandedFilterbank, StoresOnlyTheNonzeroBands) {
+  const auto fb = dsp::mel_filterbank(128, 2048, 22050.0);
+  const dsp::BandedFilterbank banded(fb);
+  EXPECT_EQ(banded.bands(), 128u);
+  EXPECT_EQ(banded.bins(), 1025u);
+  // The dense matrix is >90% zeros; the banded form must reflect that.
+  EXPECT_LT(banded.nonzeros(), fb.rows() * fb.cols() / 10);
+  EXPECT_GT(banded.nonzeros(), 0u);
+}
+
+TEST(BandedFilterbank, RejectsBinMismatch) {
+  const auto fb = dsp::mel_filterbank(16, 256, 22050.0);
+  const dsp::BandedFilterbank banded(fb);
+  dsp::Matrix wrong(100, 4, 1.0);
+  EXPECT_THROW(banded.apply(wrong), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- power_to_db
+
+TEST(PowerToDb, MatchesLegacyTwoPassBitIdentical) {
+  // The pre-optimization implementation: dB conversion, a second pass
+  // tracking the peak, then a clamp at peak - top_db. Kept inline here as
+  // the oracle for the fused single-pass version.
+  const auto legacy = [](const dsp::Matrix& power, double top_db) {
+    constexpr double kAmin = 1e-10;
+    const double ref = std::max(power.max(), kAmin);
+    dsp::Matrix out(power.rows(), power.cols());
+    double peak = -1e300;
+    for (std::size_t r = 0; r < power.rows(); ++r)
+      for (std::size_t c = 0; c < power.cols(); ++c) {
+        const double db =
+            10.0 * std::log10(std::max(power(r, c), kAmin) / ref);
+        out(r, c) = db;
+        peak = std::max(peak, db);
+      }
+    for (std::size_t r = 0; r < out.rows(); ++r)
+      for (std::size_t c = 0; c < out.cols(); ++c)
+        out(r, c) = std::max(out(r, c), peak - top_db);
+    return out;
+  };
+
+  beesim::util::Rng rng(17);
+  dsp::Matrix random(33, 21);
+  for (std::size_t r = 0; r < random.rows(); ++r)
+    for (std::size_t c = 0; c < random.cols(); ++c)
+      random(r, c) = rng.uniform() < 0.2 ? 0.0 : rng.uniform(0.0, 1e4);
+  dsp::Matrix zeros(5, 5, 0.0);
+  dsp::Matrix tiny(4, 4, 1e-13);  // everything below the 1e-10 floor
+  for (const auto* m : {&random, &zeros, &tiny})
+    for (double top_db : {80.0, 30.0})
+      expect_matrices_identical(dsp::power_to_db(*m, top_db),
+                                legacy(*m, top_db));
+}
+
+// ------------------------------------------------------------ Conv2d GEMM
+
+TEST(ConvGemm, ForwardMatchesNaive) {
+  KernelConfigGuard guard;
+  beesim::util::Rng rng(18);
+  ml::Conv2d conv(3, 5, 3, rng);
+  ml::Tensor input({2, 3, 17, 13});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal());
+
+  dsp::set_kernel_config(dsp::KernelConfig::reference());
+  const auto reference = conv.forward(input, false);
+  dsp::set_kernel_config(dsp::KernelConfig::fast());
+  const auto fast = conv.forward(input, false);
+
+  ASSERT_EQ(fast.size(), reference.size());
+  float scale = 1.0f;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    scale = std::max(scale, std::abs(reference[i]));
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_NEAR(fast[i], reference[i], 1e-5f * scale) << "index " << i;
+}
+
+TEST(ConvGemm, QueenCnnLogitsMatchNaive) {
+  KernelConfigGuard guard;
+  const std::size_t side = 20;
+  beesim::util::Rng net_rng(19);
+  auto net = ml::make_queen_cnn(net_rng, 8, side);
+  ml::Tensor input({2, 1, side, side});
+  beesim::util::Rng in_rng(20);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(in_rng.uniform());
+
+  dsp::set_kernel_config(dsp::KernelConfig::reference());
+  const auto reference = net.forward(input, false);
+  dsp::set_kernel_config(dsp::KernelConfig::fast());
+  const auto fast = net.forward(input, false);
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_NEAR(fast[i], reference[i],
+                1e-4f * std::max(1.0f, std::abs(reference[i])));
+}
+
+// ----------------------------------------------------------- Mel pipeline
+
+TEST(MelPipeline, FastMatchesReference) {
+  KernelConfigGuard guard;
+  beesim::util::Rng rng(21);
+  const auto clip = random_signal(22050, rng);
+  dsp::MelSpectrogram mel;
+
+  dsp::set_kernel_config(dsp::KernelConfig::reference());
+  const auto reference = mel.compute(clip);
+  const auto ref_features = mel.compute_features(clip);
+  dsp::set_kernel_config(dsp::KernelConfig::fast());
+  const auto fast = mel.compute(clip);
+  const auto fast_features = mel.compute_features(clip);
+
+  expect_matrices_close(fast, reference, 1e-9);
+  ASSERT_EQ(fast_features.size(), ref_features.size());
+  for (std::size_t i = 0; i < ref_features.size(); ++i)
+    ASSERT_NEAR(fast_features[i], ref_features[i], 1e-6);
+}
+
+// ------------------------------------------------------------ Obs metrics
+
+TEST(KernelMetrics, StftCountsFramesAndPlanReuses) {
+  KernelConfigGuard guard;
+  dsp::set_kernel_config(dsp::KernelConfig::fast());
+  auto& frames =
+      beesim::obs::registry().counter(beesim::obs::metric::kDspStftFrames);
+  auto& reuses = beesim::obs::registry().counter(
+      beesim::obs::metric::kDspFftPlanReuses);
+  const auto frames_before = frames.value();
+  const auto reuses_before = reuses.value();
+
+  beesim::obs::set_enabled(true);
+  beesim::util::Rng rng(22);
+  const auto signal = random_signal(8192, rng);
+  dsp::StftParams p;
+  p.n_fft = 1024;
+  p.hop = 512;
+  const auto power = dsp::stft_power(signal, p);
+  beesim::obs::set_enabled(false);
+
+  EXPECT_EQ(frames.value() - frames_before, power.cols());
+  // One planned (half-size) FFT execution per frame.
+  EXPECT_EQ(reuses.value() - reuses_before, power.cols());
+}
+
+// ---------------------------------------------------------- Property fuzz
+
+TEST(FuzzKernels, FastStftAndRfftMatchReferenceOnRandomShapes) {
+  KernelConfigGuard guard;
+  beesim::util::Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n_fft =
+        std::size_t{1} << rng.uniform_int(4, 11);  // 16 .. 2048
+    // Random real-FFT equivalence at this size.
+    const auto frame = random_signal(n_fft, rng);
+    const auto ref_spec = dsp::rfft(frame);
+    const auto fast_spec = dsp::RealFftPlan(n_fft).transform(frame);
+    double scale = 1.0;
+    for (const auto& v : ref_spec) scale = std::max(scale, std::abs(v));
+    for (std::size_t b = 0; b < ref_spec.size(); ++b)
+      ASSERT_NEAR(std::abs(fast_spec[b] - ref_spec[b]), 0.0, 1e-9 * scale)
+          << "trial " << trial << " n_fft " << n_fft << " bin " << b;
+
+    // Random STFT equivalence: signal long enough to reflect-pad.
+    dsp::StftParams p;
+    p.n_fft = n_fft;
+    p.hop = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(n_fft)));
+    p.center = rng.chance(0.5);
+    const std::size_t len = n_fft / 2 + 1 +
+                            static_cast<std::size_t>(rng.uniform_int(
+                                static_cast<std::int64_t>(n_fft / 2),
+                                8192));
+    const auto signal = random_signal(len, rng);
+    dsp::set_kernel_config(dsp::KernelConfig::reference());
+    const auto reference = dsp::stft_power(signal, p);
+    dsp::set_kernel_config(dsp::KernelConfig::fast());
+    const auto fast = dsp::stft_power(signal, p);
+    expect_matrices_close(fast, reference, 1e-9);
+  }
+}
