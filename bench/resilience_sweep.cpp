@@ -1,0 +1,222 @@
+// Resilience sweep: outage rate x fleet size for the fault-injection
+// layer (docs/RESILIENCE.md). For each outage rate a seeded FaultPlan is
+// generated, the ResilientFleet runs every fleet size for `cycles`
+// consecutive wake-up cycles, and the table reports the energy delta
+// against the fault-free run plus the data-delivery ledger (served /
+// recovered / dropped / lost).
+//
+// The rate-0 row doubles as the bit-identity self-check the acceptance
+// criteria demand: an empty FaultPlan must reproduce
+// LargeScaleSimulator::sweep exactly (same streams, same draw order).
+// The bench prints "resilience parity ok" and exits non-zero otherwise.
+//
+// Usage: resilience_sweep [lo=100] [hi=700] [step=300] [parallel=10]
+//                         [seed=7] [cycles=50] [rates=0,0.05,0.1,0.2]
+//                         [mean_duration=3] [kind=cloud|link|battery|
+//                          sensor|brownout|degraded|mix] [severity=0.5]
+//                         [threads=0] [csv=path]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/resilience.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace beesim;
+
+namespace {
+
+std::vector<double> parse_rates(const std::string& csv) {
+  std::vector<double> rates;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) rates.push_back(std::stod(item));
+  if (rates.empty()) rates.push_back(0.0);
+  return rates;
+}
+
+fault::FaultPlan plan_for(const std::string& kind, std::uint64_t seed,
+                          int cycles, double rate, int mean_duration,
+                          double severity) {
+  using fault::FaultKind;
+  if (kind == "cloud")
+    return fault::FaultPlan::random_outages(seed, cycles, rate,
+                                            mean_duration,
+                                            FaultKind::kCloudOutage);
+  if (kind == "link")
+    return fault::FaultPlan::random_outages(seed, cycles, rate,
+                                            mean_duration,
+                                            FaultKind::kLinkOutage);
+  if (kind == "battery")
+    return fault::FaultPlan::random_outages(seed, cycles, rate,
+                                            mean_duration,
+                                            FaultKind::kBatteryDerate,
+                                            severity);
+  if (kind == "sensor")
+    return fault::FaultPlan::random_outages(seed, cycles, rate,
+                                            mean_duration,
+                                            FaultKind::kSensorDropout,
+                                            severity);
+  if (kind == "brownout")
+    return fault::FaultPlan::random_outages(seed, cycles, rate,
+                                            mean_duration,
+                                            FaultKind::kCloudBrownout,
+                                            severity);
+  if (kind == "degraded")
+    return fault::FaultPlan::random_outages(seed, cycles, rate,
+                                            mean_duration,
+                                            FaultKind::kLinkDegraded,
+                                            severity);
+  if (kind == "mix") {
+    // A blended schedule: half the budget on cloud outages, a third on
+    // link outages, the rest on battery derates. Kind-keyed RNG streams
+    // keep the three sub-plans independent yet reproducible.
+    fault::FaultPlan plan = fault::FaultPlan::random_outages(
+        seed, cycles, rate * 0.5, mean_duration, FaultKind::kCloudOutage);
+    const fault::FaultPlan links = fault::FaultPlan::random_outages(
+        seed, cycles, rate / 3.0, mean_duration, FaultKind::kLinkOutage);
+    for (const auto& w : links.windows()) plan.add(w);
+    const fault::FaultPlan derates = fault::FaultPlan::random_outages(
+        seed, cycles, rate / 6.0, mean_duration, FaultKind::kBatteryDerate,
+        severity);
+    for (const auto& w : derates.windows()) plan.add(w);
+    return plan;
+  }
+  std::fprintf(stderr, "error: unknown kind '%s'\n", kind.c_str());
+  std::exit(2);
+}
+
+bool bitwise_equal(const core::ResiliencePoint& a,
+                   const core::SweepPoint& b) {
+  return a.initial_clients == b.initial_clients &&
+         a.servers_used == b.servers_used &&
+         a.lost_clients.mean() == b.lost_clients.mean() &&
+         a.edge_energy.mean() == b.edge_energy.mean() &&
+         a.cloud_energy.mean() == b.cloud_energy.mean() &&
+         a.total_energy.mean() == b.total_energy.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int lo = static_cast<int>(args.config().get_int("lo", 100));
+  const int hi = static_cast<int>(args.config().get_int("hi", 700));
+  const int step = static_cast<int>(args.config().get_int("step", 300));
+  const int parallel =
+      static_cast<int>(args.config().get_int("parallel", 10));
+  const auto seed =
+      static_cast<std::uint64_t>(args.config().get_int("seed", 7));
+  const int cycles = static_cast<int>(args.config().get_int("cycles", 50));
+  const int mean_duration =
+      static_cast<int>(args.config().get_int("mean_duration", 3));
+  const std::string kind = args.config().get_string("kind", "cloud");
+  const double severity = args.config().get_double("severity", 0.5);
+  const auto threads =
+      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const std::string csv_path = args.config().get_string("csv", "");
+  const std::vector<double> rates =
+      parse_rates(args.config().get_string("rates", "0,0.05,0.1,0.2"));
+
+  bench::banner("Resilience", "outage rate x fleet size under fault "
+                              "injection");
+
+  core::FleetParams fleet =
+      core::FleetParams::paper_default(core::ServiceModel::kCnn, parallel);
+  fleet.loss = core::LossConfig::all();
+  const std::vector<int> range = core::client_range(lo, hi, step);
+
+  // --- Bit-identity self-check: empty plan == base simulator -------------
+  const core::LargeScaleSimulator base(fleet);
+  const core::ResilientFleet clean(fleet, fault::FaultPlan::none());
+  const auto base_points = base.sweep(range, seed, cycles, threads);
+  const auto clean_points = clean.sweep(range, seed, cycles, threads);
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    if (!bitwise_equal(clean_points[i], base_points[i])) {
+      std::fprintf(stderr,
+                   "resilience parity FAILED at %d clients: empty plan "
+                   "diverged from LargeScaleSimulator\n",
+                   range[i]);
+      return 1;
+    }
+  }
+  std::printf("\nresilience parity ok: empty FaultPlan bit-identical to "
+              "LargeScaleSimulator::sweep (%zu points, %d cycles)\n",
+              range.size(), cycles);
+
+  std::ofstream csv_file;
+  util::CsvWriter csv(csv_file);
+  util::CsvWriter* csv_ptr = nullptr;
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    csv.header({"rate", "clients", "degraded_cycles", "fallback_cycles",
+                "shed_client_cycles", "delivery_fraction",
+                "edge_per_client", "cloud_per_client", "total_per_client",
+                "bytes_recovered", "bytes_dropped", "bytes_lost"});
+    csv_ptr = &csv;
+  }
+
+  std::printf("\nfault kind: %s | plan horizon: %d cycles | mean window: "
+              "%d cycles\n", kind.c_str(), cycles, mean_duration);
+
+  for (const double rate : rates) {
+    const fault::FaultPlan plan =
+        plan_for(kind, seed, cycles, rate, mean_duration, severity);
+    const core::ResilientFleet resilient(fleet, plan);
+    const auto points = resilient.sweep(range, seed, cycles, threads);
+
+    std::printf("\n--- outage rate %.2f (%d windows, %d faulted cycles) "
+                "---\n\n", rate,
+                static_cast<int>(plan.windows().size()),
+                resilient.injector().faulted_cycles());
+    util::AsciiTable table({"Clients", "Degraded", "Fallback", "Shed",
+                            "Delivery %", "Edge J/client",
+                            "Server J/client", "Total J/client",
+                            "dTotal %"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      const double baseline = clean_points[i].total_per_client();
+      const double delta =
+          baseline > 0.0
+              ? (p.total_per_client() - baseline) / baseline * 100.0
+              : 0.0;
+      table.add_row({std::to_string(p.initial_clients),
+                     std::to_string(p.degraded_cycles),
+                     std::to_string(p.edge_fallback_cycles),
+                     std::to_string(static_cast<long long>(
+                         p.shed_client_cycles)),
+                     util::AsciiTable::num(p.delivery_fraction() * 100.0, 1),
+                     util::AsciiTable::num(p.edge_per_client(), 1),
+                     util::AsciiTable::num(p.cloud_per_client(), 1),
+                     util::AsciiTable::num(p.total_per_client(), 1),
+                     util::AsciiTable::num(delta, 1)});
+      if (csv_ptr != nullptr) {
+        csv_ptr->field(rate)
+            .field(static_cast<std::size_t>(p.initial_clients))
+            .field(static_cast<std::size_t>(p.degraded_cycles))
+            .field(static_cast<std::size_t>(p.edge_fallback_cycles))
+            .field(static_cast<std::size_t>(p.shed_client_cycles))
+            .field(p.delivery_fraction())
+            .field(p.edge_per_client())
+            .field(p.cloud_per_client())
+            .field(p.total_per_client())
+            .field(p.bytes_recovered)
+            .field(p.bytes_dropped)
+            .field(p.bytes_lost);
+        csv_ptr->end_row();
+      }
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  if (!csv_path.empty())
+    std::printf("\nSeries written to %s\n", csv_path.c_str());
+  return 0;
+}

@@ -6,10 +6,16 @@
 # 1. Configure, build and run the full test suite.
 # 2. Fast-path parity: fig5 anchors must be identical under the
 #    reference and fast DSP/ML kernel configs.
-# 3. Docs link-check:
+# 3. Resilience anchors: with an empty FaultPlan the fig6/fig8/fig9
+#    benches must be byte-identical to the committed scripts/anchors/
+#    outputs (the fault layer costs nothing until scheduled), and the
+#    resilience sweep itself must be thread-count invariant.
+# 4. Docs link-check:
 #    a. every docs/*.md path referenced from README.md exists;
 #    b. every top-level directory under src/ is mentioned in
-#       docs/ARCHITECTURE.md (the paper↔code map must stay complete).
+#       docs/ARCHITECTURE.md (the paper↔code map must stay complete);
+#    c. every public class/struct in src/fault headers carries a ///
+#       doc comment (the resilience story must stay documented).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -60,6 +66,71 @@ else
   diff "$tmp/anchors_ref.txt" "$tmp/anchors_fast.txt" || true
   fail=1
 fi
+
+echo
+echo "== resilience: fault-free benches byte-identical to anchors =="
+check_anchor() {
+  local name="$1" anchor="$2" actual="$3"
+  if cmp -s "$anchor" "$actual"; then
+    echo "  ok  $name matches $(basename "$anchor")"
+  else
+    echo "  MISMATCH  $name diverged from committed anchor $anchor"
+    diff "$anchor" "$actual" | head -20 || true
+    fail=1
+  fi
+}
+"$repo/$build/bench/fig6_largescale_ideal" hi=100 > "$tmp/fig6.txt"
+check_anchor "fig6" "$repo/scripts/anchors/fig6.txt" "$tmp/fig6.txt"
+"$repo/$build/bench/fig8_losses" hi=100 step=50 cycles_per_point=2 \
+  > "$tmp/fig8.txt"
+check_anchor "fig8 stdout" "$repo/scripts/anchors/fig8.txt" "$tmp/fig8.txt"
+"$repo/$build/bench/fig8_losses" hi=100 step=50 cycles_per_point=2 \
+  csv="$tmp/fig8.csv" > /dev/null
+check_anchor "fig8 csv" "$repo/scripts/anchors/fig8.csv" "$tmp/fig8.csv"
+"$repo/$build/bench/fig9_losses_comparison" hi=700 step=300 \
+  cycles_per_point=2 > "$tmp/fig9.txt"
+check_anchor "fig9" "$repo/scripts/anchors/fig9.txt" "$tmp/fig9.txt"
+
+echo
+echo "== resilience_sweep: empty-plan parity + thread invariance =="
+"$repo/$build/bench/resilience_sweep" hi=400 step=300 cycles=20 \
+  rates=0,0.2 threads=1 csv="$tmp/res1.csv" > "$tmp/res1.txt"
+if grep -q "resilience parity ok" "$tmp/res1.txt"; then
+  echo "  ok  empty FaultPlan bit-identical to LargeScaleSimulator"
+else
+  echo "  MISMATCH  resilience parity self-check failed"
+  fail=1
+fi
+"$repo/$build/bench/resilience_sweep" hi=400 step=300 cycles=20 \
+  rates=0,0.2 threads=4 csv="$tmp/res4.csv" > /dev/null
+if cmp -s "$tmp/res1.csv" "$tmp/res4.csv"; then
+  echo "  ok  resilience sweep CSV bit-identical for threads=1 and threads=4"
+else
+  echo "  MISMATCH  resilience sweep depends on the thread count"
+  diff "$tmp/res1.csv" "$tmp/res4.csv" || true
+  fail=1
+fi
+
+echo
+echo "== docs: src/fault public types carry /// doc comments =="
+for hdr in "$repo"/src/fault/*.hpp; do
+  # Every class/struct declared at column 0 must be directly preceded by
+  # a Doxygen-style /// line (possibly via other /// lines above it).
+  missing="$(awk '
+    /^\/\/\// { doc = 1; next }
+    /^(class|struct) [A-Za-z]/ {
+      if (!doc) print FILENAME ": " $0
+    }
+    { doc = 0 }
+  ' "$hdr")"
+  if [ -z "$missing" ]; then
+    echo "  ok  $(basename "$hdr")"
+  else
+    echo "  MISSING doc comment(s):"
+    echo "$missing" | sed 's/^/    /'
+    fail=1
+  fi
+done
 
 echo
 echo "== docs: README-referenced docs/*.md exist =="

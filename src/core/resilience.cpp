@@ -1,0 +1,277 @@
+#include "core/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/catalog.hpp"
+#include "util/parallel.hpp"
+
+namespace beesim::core {
+
+double ResiliencePoint::delivery_fraction() const noexcept {
+  return bytes_generated > 0.0
+             ? (bytes_served + bytes_recovered) / bytes_generated
+             : 1.0;
+}
+
+double ResiliencePoint::total_per_client() const noexcept {
+  return initial_clients > 0
+             ? total_energy.mean() / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double ResiliencePoint::edge_per_client() const noexcept {
+  return initial_clients > 0
+             ? edge_energy.mean() / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+double ResiliencePoint::cloud_per_client() const noexcept {
+  return initial_clients > 0
+             ? cloud_energy.mean() / static_cast<double>(initial_clients)
+             : 0.0;
+}
+
+ResilientFleet::ResilientFleet(FleetParams params, fault::FaultPlan plan,
+                               ResiliencePolicy policy, ServiceModel service)
+    : base_(std::move(params)), injector_(plan), policy_(policy) {
+  if (policy_.buffer_bytes_per_client < 0.0)
+    throw std::invalid_argument("ResilientFleet: negative buffer bound");
+  if (policy_.upload_bytes_per_client <= 0.0)
+    throw std::invalid_argument("ResilientFleet: non-positive upload size");
+  if (policy_.upload_energy_per_payload < 0.0)
+    throw std::invalid_argument("ResilientFleet: negative upload energy");
+  if (policy_.catchup_factor < 0.0)
+    throw std::invalid_argument("ResilientFleet: negative catchup factor");
+  edge_fallback_energy_ =
+      ClientSpec::smart_beehive(Placement::kEdgeOnly, service,
+                                base_.params().client.period)
+          .cycle_energy();
+  // Build the reduced-capacity siblings once: one simulator per distinct
+  // (capacity, bandwidth) factor pair the plan ever produces. A degraded
+  // geometry that cannot fit a single slot in the cycle throws here —
+  // plan validation, not a mid-run surprise.
+  for (int c = 0; c < injector_.horizon(); ++c) {
+    const fault::CycleFaults& f = injector_.at(c);
+    if (f.link_outage || f.cloud_outage) continue;
+    if (f.cloud_capacity_factor >= 1.0 && f.link_bandwidth_factor >= 1.0)
+      continue;
+    const auto key =
+        std::make_pair(f.cloud_capacity_factor, f.link_bandwidth_factor);
+    if (degraded_.count(key) != 0) continue;
+    FleetParams p = base_.params();
+    // A brownout leaves only a fraction of the slot's parallelism; a
+    // degraded link stretches every slot's receive window.
+    p.server.max_parallel = std::max(
+        1, static_cast<int>(std::floor(
+               static_cast<double>(p.server.max_parallel) *
+               f.cloud_capacity_factor)));
+    p.server.receive_time /= f.link_bandwidth_factor;
+    degraded_.emplace(key,
+                      std::make_shared<const LargeScaleSimulator>(std::move(p)));
+  }
+}
+
+const LargeScaleSimulator& ResilientFleet::degraded_sim(
+    const fault::CycleFaults& faults) const {
+  if (faults.cloud_capacity_factor >= 1.0 &&
+      faults.link_bandwidth_factor >= 1.0)
+    return base_;
+  return *degraded_.at(
+      {faults.cloud_capacity_factor, faults.link_bandwidth_factor});
+}
+
+ResiliencePoint ResilientFleet::run_point(int clients, int cycles,
+                                          util::Rng& rng) const {
+  if (clients < 0)
+    throw std::invalid_argument("ResilientFleet: negative clients");
+  if (cycles < 1)
+    throw std::invalid_argument("ResilientFleet: cycles < 1");
+  ResiliencePoint point;
+  point.initial_clients = clients;
+  point.cycles = cycles;
+  fault::StoreAndForwardBuffer buffer(policy_.buffer_bytes_per_client *
+                                      static_cast<double>(clients));
+  const double upload = policy_.upload_bytes_per_client;
+  for (int c = 0; c < cycles; ++c) {
+    const fault::CycleFaults& faults = injector_.at(c);
+    if (!faults.any()) {
+      // Clean cycle: delegate verbatim to the base simulator — with an
+      // empty plan every cycle takes this path and the RNG draw sequence
+      // is exactly LargeScaleSimulator::sweep's (bit-identity contract).
+      const CycleResult r = base_.simulate_cycle(clients, rng);
+      double edge = r.edge_energy;
+      const double produced =
+          static_cast<double>(r.surviving_clients()) * upload;
+      point.bytes_generated += produced;
+      point.bytes_served += produced;
+      if (policy_.store_and_forward && buffer.buffered() > 0.0) {
+        // Catch-up: surviving clients re-upload queued payloads, billed
+        // at the Table II send-audio energy per payload.
+        const double budget = policy_.catchup_factor * upload *
+                              static_cast<double>(r.surviving_clients());
+        const double drained = buffer.drain(budget);
+        point.bytes_recovered += drained;
+        edge += drained / upload * policy_.upload_energy_per_payload;
+      }
+      point.servers_used = std::max(point.servers_used, r.servers_used);
+      point.lost_clients.add(static_cast<double>(r.lost_clients));
+      point.edge_energy.add(edge);
+      point.cloud_energy.add(r.cloud_energy);
+      point.total_energy.add(edge + r.cloud_energy);
+    } else {
+      simulate_faulted_cycle(clients, faults, rng, buffer, point);
+    }
+  }
+  point.bytes_pending = buffer.buffered();
+  return point;
+}
+
+void ResilientFleet::simulate_faulted_cycle(
+    int clients, const fault::CycleFaults& faults, util::Rng& rng,
+    fault::StoreAndForwardBuffer& buffer, ResiliencePoint& point) const {
+  const ClientSpec& client = base_.params().client;
+  const double upload = policy_.upload_bytes_per_client;
+  ++point.degraded_cycles;
+
+  // 1. Battery derate: with load shedding a matching fleet fraction
+  //    skips the cycle (sleeps); without it the same fraction browns out
+  //    mid-routine — full routine energy spent, payload lost.
+  int remaining = clients;
+  int shed = 0;
+  int browned = 0;
+  if (faults.battery_factor < 1.0) {
+    const int affected = std::clamp(
+        static_cast<int>(std::lround((1.0 - faults.battery_factor) *
+                                     static_cast<double>(remaining))),
+        0, remaining);
+    (policy_.load_shedding ? shed : browned) = affected;
+    remaining -= affected;
+  }
+  // 2. Sensor dropout: mute clients run the routine but record nothing.
+  int mute = 0;
+  if (faults.sensor_dropout_fraction > 0.0) {
+    mute = std::clamp(
+        static_cast<int>(std::lround(faults.sensor_dropout_fraction *
+                                     static_cast<double>(remaining))),
+        0, remaining);
+    remaining -= mute;
+  }
+  point.shed_client_cycles += shed;
+  point.browned_client_cycles += browned;
+  point.sensor_mute_client_cycles += mute;
+  point.bytes_lost += static_cast<double>(shed + browned + mute) * upload;
+
+  double edge =
+      static_cast<double>(shed) * client.sleep_cycle_energy() +
+      static_cast<double>(browned + mute) * client.cycle_energy();
+  double cloud = 0.0;
+  int servers = 0;
+  int lost = 0;
+  bool fell_back = false;
+
+  if (faults.link_outage || faults.cloud_outage) {
+    // No uplink path this cycle (an unreachable cloud and a dead cloud
+    // look the same from the apiary).
+    // 3. Loss model C still applies to the remaining awake clients.
+    lost = base_.params().loss.draw_lost_clients(remaining, rng);
+    const int active = remaining - lost;
+    edge += static_cast<double>(lost) * client.sleep_cycle_energy();
+    const double offered = static_cast<double>(active) * upload;
+    point.bytes_generated += offered;
+    // 4a. Placement: keep the service alive locally and/or queue the
+    //     payloads for later.
+    if (policy_.edge_fallback) {
+      edge += static_cast<double>(active) * edge_fallback_energy_;
+      ++point.edge_fallback_cycles;
+      point.fallback_client_cycles += active;
+      fell_back = active > 0;
+    } else {
+      // Routine ran, upload skipped: credit the send-audio energy.
+      edge += static_cast<double>(active) *
+              std::max(0.0, client.cycle_energy() -
+                                policy_.upload_energy_per_payload);
+    }
+    if (policy_.store_and_forward) {
+      const double accepted = buffer.offer(offered);
+      point.bytes_dropped += offered - accepted;
+    } else {
+      point.bytes_dropped += offered;
+    }
+    if (!faults.cloud_outage && active > 0) {
+      // Link outage with a live cloud: the provisioned servers idle the
+      // whole cycle waiting for uploads that never arrive.
+      const CycleResult idle = base_.simulate_ideal_cycle(active);
+      servers = idle.servers_used;
+      cloud = static_cast<double>(servers) *
+              base_.effective_server().idle_power *
+              base_.effective_server().cycle;
+    }
+  } else {
+    // 4b. Degraded but connected: run the cycle through the
+    //     reduced-capacity sibling (fewer parallel uploads per slot
+    //     and/or stretched receive windows); loss C draws inside.
+    const LargeScaleSimulator& sim = degraded_sim(faults);
+    const CycleResult r = sim.simulate_cycle(remaining, rng);
+    lost = r.lost_clients;
+    const int active = r.surviving_clients();
+    edge += r.edge_energy;
+    cloud = r.cloud_energy;
+    servers = r.servers_used;
+    const double produced = static_cast<double>(active) * upload;
+    point.bytes_generated += produced;
+    point.bytes_served += produced;
+    // Catch-up drains only over a full-rate link.
+    if (faults.link_bandwidth_factor >= 1.0 && policy_.store_and_forward &&
+        buffer.buffered() > 0.0) {
+      const double budget =
+          policy_.catchup_factor * upload * static_cast<double>(active);
+      const double drained = buffer.drain(budget);
+      point.bytes_recovered += drained;
+      edge += drained / upload * policy_.upload_energy_per_payload;
+    }
+  }
+
+  point.servers_used = std::max(point.servers_used, servers);
+  point.lost_clients.add(static_cast<double>(lost));
+  point.edge_energy.add(edge);
+  point.cloud_energy.add(cloud);
+  point.total_energy.add(edge + cloud);
+
+  if (obs::enabled()) {
+    static auto& degraded =
+        obs::registry().counter(obs::metric::kFleetDegradedCycles);
+    static auto& shed_clients =
+        obs::registry().counter(obs::metric::kFleetShedClients);
+    static auto& fallback =
+        obs::registry().counter(obs::metric::kFleetEdgeFallbackCycles);
+    degraded.inc();
+    if (shed > 0) shed_clients.inc(static_cast<std::uint64_t>(shed));
+    if (fell_back) fallback.inc();
+  }
+}
+
+std::vector<ResiliencePoint> ResilientFleet::sweep(
+    const std::vector<int>& client_counts, std::uint64_t seed,
+    int cycles_per_point, unsigned threads) const {
+  if (cycles_per_point < 1)
+    throw std::invalid_argument("ResilientFleet: cycles_per_point < 1");
+  std::vector<ResiliencePoint> out(client_counts.size());
+  util::parallel_for(
+      client_counts.size(),
+      [&](std::size_t i) {
+        const int n = client_counts[i];
+        // Same stream keying as LargeScaleSimulator::sweep: (seed, fleet
+        // size), so empty-plan sweeps are bit-identical to the base and
+        // any sweep is invariant across thread counts and sweep ranges.
+        util::Rng rng =
+            util::Rng::for_stream(seed, static_cast<std::uint64_t>(n));
+        out[i] = run_point(n, cycles_per_point, rng);
+      },
+      threads);
+  return out;
+}
+
+}  // namespace beesim::core

@@ -68,9 +68,20 @@ Joules Battery::discharge(Joules wanted) {
 }
 
 Joules Battery::available() const noexcept {
-  const Joules floor = params_.capacity * params_.cutoff_soc;
+  const Joules floor = params_.capacity * effective_cutoff_soc();
   const Joules stored_above_cutoff = std::max(0.0, level_ - floor);
   return stored_above_cutoff * params_.discharge_efficiency;
+}
+
+void Battery::set_derating(double usable_fraction) {
+  if (usable_fraction <= 0.0 || usable_fraction > 1.0)
+    throw std::invalid_argument("Battery: derating outside (0, 1]");
+  if (usable_fraction < derating_ && obs::enabled()) {
+    static auto& derates =
+        obs::registry().counter(obs::metric::kBatteryDerateEvents);
+    derates.inc();
+  }
+  derating_ = usable_fraction;
 }
 
 }  // namespace beesim::energy

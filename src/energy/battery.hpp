@@ -41,16 +41,35 @@ class Battery {
     return level_ / params_.capacity;
   }
   bool cut_off() const noexcept {
-    return state_of_charge() <= params_.cutoff_soc;
+    return state_of_charge() <= effective_cutoff_soc();
   }
   /// Maximum energy deliverable right now (down to cutoff, after losses).
   Joules available() const noexcept;
+
+  /// Fault-injection hook (fault::FaultKind::kBatteryDerate): restricts
+  /// the usable span to `usable_fraction` of the healthy one by raising
+  /// the effective protection cutoff. 1.0 (the default) restores the
+  /// healthy behaviour; values must lie in (0, 1]. Counts the
+  /// `energy.battery.derate_events` metric when the factor shrinks.
+  void set_derating(double usable_fraction);
+  double derating() const noexcept { return derating_; }
+
+  /// Cutoff SoC after derating: 1 - usable_fraction * (1 - cutoff_soc).
+  /// The healthy case returns the configured cutoff exactly (no float
+  /// round-trip), so underated batteries behave bit-identically to the
+  /// pre-fault-layer model.
+  double effective_cutoff_soc() const noexcept {
+    return derating_ == 1.0
+               ? params_.cutoff_soc
+               : 1.0 - derating_ * (1.0 - params_.cutoff_soc);
+  }
 
   const Params& params() const noexcept { return params_; }
 
  private:
   Params params_;
   Joules level_;
+  double derating_ = 1.0;
 };
 
 }  // namespace beesim::energy

@@ -1,0 +1,50 @@
+#include "fault/degradation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/catalog.hpp"
+
+namespace beesim::fault {
+
+StoreAndForwardBuffer::StoreAndForwardBuffer(double capacity_bytes)
+    : capacity_(capacity_bytes) {
+  if (!(capacity_bytes >= 0.0))
+    throw std::invalid_argument("StoreAndForwardBuffer: negative capacity");
+}
+
+double StoreAndForwardBuffer::offer(double bytes) {
+  if (bytes < 0.0)
+    throw std::invalid_argument("StoreAndForwardBuffer: negative offer");
+  const double accepted = std::min(bytes, capacity_ - buffered_);
+  const double dropped = bytes - accepted;
+  buffered_ += accepted;
+  enqueued_bytes_ += accepted;
+  peak_bytes_ = std::max(peak_bytes_, buffered_);
+  if (dropped > 0.0) {
+    dropped_bytes_ += dropped;
+    ++drop_events_;
+  }
+  if (obs::enabled()) {
+    static auto& enq =
+        obs::registry().counter(obs::metric::kFaultBufferEnqueuedBytes);
+    static auto& drop =
+        obs::registry().counter(obs::metric::kFaultBufferDroppedBytes);
+    static auto& peak =
+        obs::registry().gauge(obs::metric::kFaultBufferPeakBytes);
+    enq.inc(static_cast<std::uint64_t>(accepted));
+    if (dropped > 0.0) drop.inc(static_cast<std::uint64_t>(dropped));
+    peak.update_max(peak_bytes_);
+  }
+  return accepted;
+}
+
+double StoreAndForwardBuffer::drain(double budget_bytes) {
+  if (budget_bytes < 0.0)
+    throw std::invalid_argument("StoreAndForwardBuffer: negative budget");
+  const double drained = std::min(budget_bytes, buffered_);
+  buffered_ -= drained;
+  return drained;
+}
+
+}  // namespace beesim::fault

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace beesim::fault {
+
+/// Bounded store-and-forward byte buffer with exact drop accounting — the
+/// degradation policy that rides out link outages: payloads produced while
+/// the uplink is down are queued locally and drained when connectivity
+/// returns; whatever exceeds the bound is dropped and counted, never lost
+/// silently. Pure bookkeeping (no clock, no RNG), so outcomes are
+/// deterministic and the resilience sweep stays bit-reproducible.
+class StoreAndForwardBuffer {
+ public:
+  /// A buffer holding at most `capacity_bytes` (must be >= 0; a zero
+  /// capacity drops everything offered, which models a store-less client).
+  explicit StoreAndForwardBuffer(double capacity_bytes);
+
+  /// Offers `bytes` for queueing; returns the bytes accepted. The
+  /// remainder is dropped and added to the drop accounting (and the
+  /// `fault.buffer.*` metrics when observability is on).
+  double offer(double bytes);
+
+  /// Drains up to `budget_bytes` from the buffer; returns the bytes
+  /// actually recovered.
+  double drain(double budget_bytes);
+
+  /// Bytes currently queued.
+  double buffered() const noexcept { return buffered_; }
+  /// Total bytes dropped because the buffer was full.
+  double dropped_bytes() const noexcept { return dropped_bytes_; }
+  /// Number of offers that dropped at least one byte.
+  std::uint64_t drop_events() const noexcept { return drop_events_; }
+  /// Total bytes ever accepted into the buffer.
+  double enqueued_bytes() const noexcept { return enqueued_bytes_; }
+  /// High-water mark of the queue.
+  double peak_bytes() const noexcept { return peak_bytes_; }
+  /// The configured bound.
+  double capacity() const noexcept { return capacity_; }
+
+ private:
+  double capacity_;
+  double buffered_ = 0.0;
+  double dropped_bytes_ = 0.0;
+  double enqueued_bytes_ = 0.0;
+  double peak_bytes_ = 0.0;
+  std::uint64_t drop_events_ = 0;
+};
+
+}  // namespace beesim::fault

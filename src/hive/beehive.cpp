@@ -50,7 +50,8 @@ SmartBeehive::SmartBeehive(sim::Engine& engine, const Config& config,
         energy::CurrentSensor::Params sp;
         sp.seed = config.seed ^ 0xadc;
         return energy::CurrentSensor(sp);
-      }()) {
+      }()),
+      fault_rng_(config.seed ^ 0xfa) {
   if (config_.colony_introduction.has_value()) colony_.set_present(false);
   if (config_.adaptive.has_value()) {
     AdaptiveWakeupPolicy policy = *config_.adaptive;
@@ -134,6 +135,17 @@ sim::SimTime SmartBeehive::wakeup_period() const {
 
 void SmartBeehive::wakeup_tick(sim::Engine& engine) {
   ++stats_.wakeups_attempted;
+  const fault::CycleFaults* faults = nullptr;
+  if (config_.faults != nullptr) {
+    const int cycle =
+        fault::FaultInjector::cycle_at(engine.now(), wakeup_period());
+    if (cycle >= 0) faults = &config_.faults->at(cycle);
+    // Derate (or restore) the battery protection window for this slot —
+    // a derated bank refuses wake-ups it would normally serve, so the
+    // can_serve gate below becomes the load-shedding policy.
+    node_->battery().set_derating(
+        faults != nullptr ? faults->battery_factor : 1.0);
+  }
   const util::Watts routine_power = device::cal::kRoutinePower +
                                     device::cal::kZeroMonitorPower;
   if (!online_ || pi_->busy() ||
@@ -141,8 +153,18 @@ void SmartBeehive::wakeup_tick(sim::Engine& engine) {
     ++stats_.wakeups_skipped;
     return;
   }
+  device::Placement placement = config_.placement;
+  if (faults != nullptr && (faults->link_outage || faults->cloud_outage) &&
+      placement == device::Placement::kEdgeCloud) {
+    // Cloud unreachable: fall back to local inference for this wake-up.
+    placement = device::Placement::kEdgeOnly;
+    ++stats_.wakeups_degraded;
+  }
+  if (faults != nullptr && faults->sensor_dropout_fraction > 0.0 &&
+      fault_rng_.chance(faults->sensor_dropout_fraction))
+    ++stats_.wakeups_muted;  // routine still runs; the clip is silence
   device::TaskSequence tasks =
-      device::edge_routine(config_.placement, config_.service);
+      device::edge_routine(placement, config_.service);
   pi_->run_spec_sequence(std::move(tasks), [this](sim::Engine&) {
     ++stats_.wakeups_completed;
   });

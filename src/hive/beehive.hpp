@@ -4,12 +4,14 @@
 #include <optional>
 
 #include "device/routine.hpp"
+#include "fault/injector.hpp"
 #include "hive/adaptive.hpp"
 #include "device/sim_device.hpp"
 #include "energy/harvest.hpp"
 #include "hive/sensors.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace beesim::hive {
 
@@ -53,6 +55,10 @@ class SmartBeehive {
     EnergyChainConfig energy;
     WeatherModel::Params weather;
     std::uint64_t seed = 2024;
+    /// Optional fault timeline (not owned; must outlive the beehive).
+    /// Wake-ups map onto plan cycles via FaultInjector::cycle_at with the
+    /// current wakeup period; nullptr = fault-free (seed behaviour).
+    const fault::FaultInjector* faults = nullptr;
 
     static Config field_deployment(std::uint64_t seed = 2024);
   };
@@ -66,6 +72,11 @@ class SmartBeehive {
     util::Joules consumed = 0.0;
     /// Adaptive controller regime changes (0 when not adaptive).
     int regime_transitions = 0;
+    /// Wake-ups that ran edge-only because the cloud was unreachable
+    /// (link or cloud outage window) — the edge-fallback policy.
+    std::uint64_t wakeups_degraded = 0;
+    /// Wake-ups whose routine ran but recorded silence (sensor dropout).
+    std::uint64_t wakeups_muted = 0;
   };
 
   /// `trace` may be null (no series recorded). The beehive schedules its
@@ -110,6 +121,7 @@ class SmartBeehive {
   std::unique_ptr<sim::PeriodicTask> wakeup_task_;
 
   std::optional<AdaptiveController> adaptive_;
+  util::Rng fault_rng_;
   bool online_ = true;
   util::Joules accounted_consumed_ = 0.0;
   Stats stats_;

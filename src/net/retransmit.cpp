@@ -8,12 +8,35 @@
 
 namespace beesim::net {
 
+const char* to_string(TransferOutcome outcome) noexcept {
+  switch (outcome) {
+    case TransferOutcome::kCompleted: return "completed";
+    case TransferOutcome::kTimedOut: return "timed_out";
+    case TransferOutcome::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+RetransmittingLink::Params RetransmittingLink::Params::resilient() {
+  Params p;
+  p.backoff_initial = 0.05;
+  p.backoff_multiplier = 2.0;
+  p.backoff_max = 5.0;
+  p.backoff_jitter = 0.5;
+  p.timeout_budget = 120.0;
+  return p;
+}
+
 RetransmittingLink::RetransmittingLink(Link link, const Params& params)
     : link_(link), params_(params) {
   if (params_.chunk_size <= 0.0 || params_.base_loss < 0.0 ||
       params_.base_loss >= 1.0 || params_.loss_per_concurrent < 0.0 ||
       params_.max_attempts_per_chunk < 1)
     throw std::invalid_argument("RetransmittingLink: invalid params");
+  if (params_.backoff_initial < 0.0 || params_.backoff_multiplier < 1.0 ||
+      params_.backoff_max < 0.0 || params_.backoff_jitter < 0.0 ||
+      params_.backoff_jitter > 1.0 || params_.timeout_budget < 0.0)
+    throw std::invalid_argument("RetransmittingLink: invalid backoff params");
 }
 
 double RetransmittingLink::chunk_loss(int concurrent_clients) const {
@@ -25,17 +48,37 @@ double RetransmittingLink::chunk_loss(int concurrent_clients) const {
   return std::min(0.95, params_.base_loss + extra);
 }
 
+Seconds RetransmittingLink::backoff_delay(int retry) const {
+  if (retry < 1 || params_.backoff_initial <= 0.0) return 0.0;
+  Seconds delay = params_.backoff_initial;
+  for (int i = 1; i < retry && delay < params_.backoff_max; ++i)
+    delay *= params_.backoff_multiplier;
+  return std::min(delay, params_.backoff_max);
+}
+
 RetransmittingLink::TransferResult RetransmittingLink::transfer(
     Bytes bytes, int concurrent_clients, util::Rng& rng) const {
+  return transfer(bytes, concurrent_clients, 1.0, rng);
+}
+
+RetransmittingLink::TransferResult RetransmittingLink::transfer(
+    Bytes bytes, int concurrent_clients, double bandwidth_factor,
+    util::Rng& rng) const {
   if (bytes < 0.0)
     throw std::invalid_argument("RetransmittingLink: negative payload");
+  if (bandwidth_factor <= 0.0 || bandwidth_factor > 1.0)
+    throw std::invalid_argument(
+        "RetransmittingLink: bandwidth_factor outside (0, 1]");
   const double loss = chunk_loss(concurrent_clients);
   const auto chunks = static_cast<int>(
       std::max(1.0, std::ceil(bytes / params_.chunk_size)));
-  // One throughput draw per transfer (slow fading), loss per chunk.
+  // One throughput draw per transfer (slow fading), loss per chunk. A
+  // degraded channel scales the per-chunk time, not the loss.
   const Seconds base_chunk_time =
       (link_.transfer_time(params_.chunk_size, rng) -
-       link_.params().setup_time - link_.params().latency);
+       link_.params().setup_time - link_.params().latency) /
+      bandwidth_factor;
+  const bool budgeted = params_.timeout_budget > 0.0;
 
   TransferResult result;
   result.chunks = chunks;
@@ -45,12 +88,32 @@ RetransmittingLink::TransferResult RetransmittingLink::transfer(
     for (;;) {
       ++attempts;
       result.duration += base_chunk_time;
-      if (!rng.chance(loss)) break;
-      ++result.retransmissions;
-      if (attempts >= params_.max_attempts_per_chunk) {
+      if (budgeted && result.duration > params_.timeout_budget) {
+        result.outcome = TransferOutcome::kTimedOut;
         result.completed = false;
         record_transfer(result, bytes);
         return result;
+      }
+      if (!rng.chance(loss)) break;
+      ++result.retransmissions;
+      if (attempts >= params_.max_attempts_per_chunk) {
+        result.outcome = TransferOutcome::kAborted;
+        result.completed = false;
+        record_transfer(result, bytes);
+        return result;
+      }
+      if (params_.backoff_initial > 0.0) {
+        Seconds wait = backoff_delay(attempts);
+        if (params_.backoff_jitter > 0.0)
+          wait *= 1.0 + params_.backoff_jitter * (2.0 * rng.uniform() - 1.0);
+        result.backoff_wait += wait;
+        result.duration += wait;
+        if (budgeted && result.duration > params_.timeout_budget) {
+          result.outcome = TransferOutcome::kTimedOut;
+          result.completed = false;
+          record_transfer(result, bytes);
+          return result;
+        }
       }
     }
   }
@@ -69,13 +132,24 @@ void RetransmittingLink::record_transfer(const TransferResult& result,
       obs::registry().counter(obs::metric::kRetransmitRetransmissions);
   static auto& failures =
       obs::registry().counter(obs::metric::kRetransmitFailures);
+  static auto& timeouts =
+      obs::registry().counter(obs::metric::kRetransmitTimeouts);
   static auto& transferred =
       obs::registry().counter(obs::metric::kRetransmitBytes);
+  static auto& backoff_waits =
+      obs::registry().counter(obs::metric::kBackoffWaits);
+  static auto& backoff_seconds =
+      obs::registry().gauge(obs::metric::kBackoffWaitSeconds);
   transfers.inc();
   chunks.inc(static_cast<std::uint64_t>(result.chunks));
   retransmissions.inc(static_cast<std::uint64_t>(result.retransmissions));
   if (!result.completed) failures.inc();
+  if (result.outcome == TransferOutcome::kTimedOut) timeouts.inc();
   transferred.inc(static_cast<std::uint64_t>(bytes));
+  if (result.backoff_wait > 0.0) {
+    backoff_waits.inc(static_cast<std::uint64_t>(result.retransmissions));
+    backoff_seconds.add(result.backoff_wait);
+  }
 }
 
 Seconds RetransmittingLink::expected_stretch_per_client(Bytes bytes) const {

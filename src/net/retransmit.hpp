@@ -4,11 +4,25 @@
 
 namespace beesim::net {
 
+/// Terminal state of a chunked transfer (resilience layer accounting:
+/// the three outcomes are billed and recovered differently — see
+/// docs/RESILIENCE.md).
+enum class TransferOutcome {
+  kCompleted,  ///< every chunk acknowledged
+  kTimedOut,   ///< the per-transfer timeout budget elapsed mid-transfer
+  kAborted,    ///< a chunk exhausted max_attempts_per_chunk
+};
+
+const char* to_string(TransferOutcome outcome) noexcept;
+
 /// Chunked transfer with per-chunk loss and retransmission — the
 /// micro-foundation of the paper's loss model B ("extra transfer seconds
 /// per client"): when many synchronized clients share the channel, the
 /// per-chunk loss probability rises and the expected retransmissions
-/// stretch every transfer.
+/// stretch every transfer. Retries optionally pace themselves with
+/// truncated exponential backoff + jitter, and a transfer can carry a
+/// wall-clock timeout budget (both disabled by default so the seed
+/// behaviour — and its RNG draw sequence — stays bit-identical).
 class RetransmittingLink {
  public:
   struct Params {
@@ -22,6 +36,24 @@ class RetransmittingLink {
     double loss_per_concurrent = 0.02;
     /// Give up on a transfer after this many attempts for one chunk.
     int max_attempts_per_chunk = 12;
+    /// First backoff delay after a lost chunk; 0 disables backoff
+    /// entirely (no extra time, no extra RNG draws).
+    Seconds backoff_initial = 0.0;
+    /// Growth factor of successive backoff delays (>= 1).
+    double backoff_multiplier = 2.0;
+    /// Truncation: no single backoff delay exceeds this.
+    Seconds backoff_max = 5.0;
+    /// Jitter fraction: each delay is drawn uniformly from
+    /// [delay*(1-jitter), delay*(1+jitter)]. 0 = deterministic delays
+    /// (and no RNG draw for the backoff).
+    double backoff_jitter = 0.0;
+    /// Per-transfer wall-clock budget; the transfer reports kTimedOut as
+    /// soon as its accumulated duration crosses it. 0 = unlimited.
+    Seconds timeout_budget = 0.0;
+
+    /// The resilience-layer profile: 50 ms initial backoff doubling to a
+    /// 5 s cap with 50% jitter, and a 120 s transfer budget.
+    static Params resilient();
   };
 
   RetransmittingLink(Link link, const Params& params);
@@ -30,17 +62,34 @@ class RetransmittingLink {
     Seconds duration = 0.0;
     int chunks = 0;
     int retransmissions = 0;
-    bool completed = true;  // false when a chunk exhausted its attempts
+    /// Backoff time included in `duration`.
+    Seconds backoff_wait = 0.0;
+    TransferOutcome outcome = TransferOutcome::kCompleted;
+    bool completed = true;  // false when outcome != kCompleted
+
+    bool timed_out() const noexcept {
+      return outcome == TransferOutcome::kTimedOut;
+    }
   };
 
   /// Transfers `bytes` while `concurrent_clients` share the channel.
   TransferResult transfer(Bytes bytes, int concurrent_clients,
                           util::Rng& rng) const;
 
+  /// Same, over a degraded channel delivering only `bandwidth_factor` of
+  /// the drawn throughput (fault::FaultKind::kLinkDegraded windows;
+  /// factor must be in (0, 1]).
+  TransferResult transfer(Bytes bytes, int concurrent_clients,
+                          double bandwidth_factor, util::Rng& rng) const;
+
   /// Expected stretch in seconds per additional concurrent client for a
   /// transfer of `bytes` — the quantity the paper fixes at 1.5 s/client.
   /// Derived analytically from the loss model (geometric retries).
   Seconds expected_stretch_per_client(Bytes bytes) const;
+
+  /// Deterministic backoff delay before retry number `retry` (1-based),
+  /// before jitter: min(backoff_max, backoff_initial * multiplier^(retry-1)).
+  Seconds backoff_delay(int retry) const;
 
   const Params& params() const noexcept { return params_; }
   const Link& link() const noexcept { return link_; }

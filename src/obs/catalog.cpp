@@ -23,15 +23,21 @@ void register_catalog(Registry& reg) {
         m::kClientSpecsBuilt, m::kClientCycleEvaluations, m::kLinkTransfers,
         m::kLinkBytes, m::kRetransmitTransfers, m::kRetransmitChunks,
         m::kRetransmitRetransmissions, m::kRetransmitFailures,
-        m::kRetransmitBytes, m::kBatteryChargeEvents,
+        m::kRetransmitBytes, m::kRetransmitTimeouts, m::kBackoffWaits,
+        m::kFaultWindowsScheduled, m::kFaultCyclesFaulted,
+        m::kFaultBufferEnqueuedBytes, m::kFaultBufferDroppedBytes,
+        m::kFleetDegradedCycles, m::kFleetShedClients,
+        m::kFleetEdgeFallbackCycles, m::kOrchestratorDegradedPlans,
+        m::kOrchestratorServicesShed, m::kBatteryChargeEvents,
         m::kBatteryDischargeEvents, m::kBatteryDepletions,
-        m::kMeterStateChanges})
+        m::kBatteryDerateEvents, m::kMeterStateChanges})
     reg.counter(name);
   for (const char* name :
        {m::kEngineMaxQueueDepth, m::kFleetMaxServersUsed,
         m::kFleetSweepThreads, m::kDspMelBandNnz,
         m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
-        m::kBatteryDischargeJoules})
+        m::kBatteryDischargeJoules, m::kBackoffWaitSeconds,
+        m::kFaultBufferPeakBytes})
     reg.gauge(name);
   reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
 }

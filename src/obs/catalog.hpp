@@ -39,6 +39,10 @@ inline constexpr const char* kOrchestratorPlacementsEdge =
     "core.orchestrator.placements_edge";
 inline constexpr const char* kOrchestratorPlacementsCloud =
     "core.orchestrator.placements_cloud";
+inline constexpr const char* kOrchestratorDegradedPlans =
+    "core.orchestrator.degraded_plans";
+inline constexpr const char* kOrchestratorServicesShed =
+    "core.orchestrator.services_shed";
 
 // core::LargeScaleSimulator — fleet wake-up cycles.
 inline constexpr const char* kFleetCycles = "core.fleet.cycles";
@@ -55,6 +59,14 @@ inline constexpr const char* kFleetHivesSimulated =
 inline constexpr const char* kFleetSweepPoints = "core.fleet.sweep_points";
 inline constexpr const char* kFleetSweepThreads =
     "core.fleet.sweep_threads";
+
+// core::ResilientFleet — degradation policies under injected faults.
+inline constexpr const char* kFleetDegradedCycles =
+    "core.fleet.degraded_cycles";
+inline constexpr const char* kFleetShedClients =
+    "core.fleet.shed_clients";
+inline constexpr const char* kFleetEdgeFallbackCycles =
+    "core.fleet.edge_fallback_cycles";
 
 // core::LossConfig — the Section VI loss models.
 inline constexpr const char* kLossSaturatedSlots =
@@ -91,6 +103,25 @@ inline constexpr const char* kRetransmitRetransmissions =
 inline constexpr const char* kRetransmitFailures =
     "net.retransmit.failures";
 inline constexpr const char* kRetransmitBytes = "net.retransmit.bytes";
+inline constexpr const char* kRetransmitTimeouts =
+    "net.retransmit.timeouts";
+
+// net::RetransmittingLink — exponential backoff between retries.
+inline constexpr const char* kBackoffWaits = "net.backoff.waits";
+inline constexpr const char* kBackoffWaitSeconds =
+    "net.backoff.wait_seconds";
+
+// fault::FaultInjector / fault::StoreAndForwardBuffer — the
+// fault-injection and graceful-degradation layer (docs/RESILIENCE.md).
+inline constexpr const char* kFaultWindowsScheduled =
+    "fault.windows_scheduled";
+inline constexpr const char* kFaultCyclesFaulted = "fault.cycles_faulted";
+inline constexpr const char* kFaultBufferEnqueuedBytes =
+    "fault.buffer.enqueued_bytes";
+inline constexpr const char* kFaultBufferDroppedBytes =
+    "fault.buffer.dropped_bytes";
+inline constexpr const char* kFaultBufferPeakBytes =
+    "fault.buffer.peak_bytes";
 
 // energy::Battery / energy::EnergyMeter.
 inline constexpr const char* kBatteryChargeEvents =
@@ -103,6 +134,8 @@ inline constexpr const char* kBatteryDischargeJoules =
     "energy.battery.discharge_joules";
 inline constexpr const char* kBatteryDepletions =
     "energy.battery.depletions";
+inline constexpr const char* kBatteryDerateEvents =
+    "energy.battery.derate_events";
 inline constexpr const char* kMeterStateChanges =
     "energy.meter.state_changes";
 

@@ -103,6 +103,29 @@ TEST(Battery, DischargeRespectsCutoff) {
   EXPECT_DOUBLE_EQ(b.discharge(1.0), 0.0);
 }
 
+TEST(Battery, DeratingShrinksUsableSpanAndRestores) {
+  e::Battery::Params p;
+  p.capacity = 100.0;
+  p.initial_soc = 0.5;
+  p.cutoff_soc = 0.1;
+  p.discharge_efficiency = 1.0;
+  e::Battery b(p);
+  EXPECT_DOUBLE_EQ(b.available(), 40.0);
+  // Half the usable span remains: cutoff rises to 1 - 0.5*(1 - 0.1).
+  b.set_derating(0.5);
+  EXPECT_DOUBLE_EQ(b.effective_cutoff_soc(), 0.55);
+  EXPECT_TRUE(b.cut_off());  // SoC 0.5 is now below the raised floor
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+  EXPECT_DOUBLE_EQ(b.discharge(10.0), 0.0);
+  // Restoring the healthy factor restores the exact configured cutoff.
+  b.set_derating(1.0);
+  EXPECT_DOUBLE_EQ(b.effective_cutoff_soc(), 0.1);
+  EXPECT_DOUBLE_EQ(b.available(), 40.0);
+  EXPECT_FALSE(b.cut_off());
+  EXPECT_THROW(b.set_derating(0.0), std::invalid_argument);
+  EXPECT_THROW(b.set_derating(1.5), std::invalid_argument);
+}
+
 TEST(Battery, DischargeEfficiencyDrainsMoreThanDelivered) {
   e::Battery::Params p;
   p.capacity = 100.0;

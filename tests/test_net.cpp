@@ -193,4 +193,105 @@ TEST(RetransmittingLink, RejectsInvalidUse) {
   bad.base_loss = 1.5;
   EXPECT_THROW(net::RetransmittingLink(net::Link(), bad),
                std::invalid_argument);
+  net::RetransmittingLink::Params bad_backoff;
+  bad_backoff.backoff_multiplier = 0.5;
+  EXPECT_THROW(net::RetransmittingLink(net::Link(), bad_backoff),
+               std::invalid_argument);
+  net::RetransmittingLink::Params bad_jitter;
+  bad_jitter.backoff_jitter = 1.5;
+  EXPECT_THROW(net::RetransmittingLink(net::Link(), bad_jitter),
+               std::invalid_argument);
+}
+
+TEST(RetransmittingLink, ZeroByteTransferCompletes) {
+  const auto retx = make_retx_link();
+  u::Rng rng(36);
+  const auto r = retx.transfer(0.0, 1, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.outcome, net::TransferOutcome::kCompleted);
+  EXPECT_EQ(r.chunks, 1);  // the empty payload still costs one exchange
+  EXPECT_GT(r.duration, 0.0);
+  EXPECT_DOUBLE_EQ(r.backoff_wait, 0.0);
+}
+
+TEST(RetransmittingLink, ExhaustionUnderMaxLossAborts) {
+  net::RetransmittingLink::Params p;
+  p.base_loss = 0.95;  // the chunk-loss cap: worst representable channel
+  p.max_attempts_per_chunk = 3;
+  const net::RetransmittingLink retx(net::Link(), p);
+  u::Rng rng(37);
+  int aborted = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto r = retx.transfer(200000.0, 1, rng);
+    if (!r.completed) {
+      EXPECT_EQ(r.outcome, net::TransferOutcome::kAborted);
+      EXPECT_FALSE(r.timed_out());
+      ++aborted;
+    }
+  }
+  EXPECT_GT(aborted, 90);  // 0.95^3 per chunk over ~13 chunks: near-certain
+}
+
+TEST(RetransmittingLink, BackoffDeterministicAcrossIdenticalSeeds) {
+  net::RetransmittingLink::Params p =
+      net::RetransmittingLink::Params::resilient();
+  p.base_loss = 0.3;
+  const net::RetransmittingLink retx(net::Link(), p);
+  u::Rng a(40);
+  u::Rng b(40);
+  for (int i = 0; i < 20; ++i) {
+    const auto ra = retx.transfer(300000.0, 5, a);
+    const auto rb = retx.transfer(300000.0, 5, b);
+    EXPECT_DOUBLE_EQ(ra.duration, rb.duration);
+    EXPECT_DOUBLE_EQ(ra.backoff_wait, rb.backoff_wait);
+    EXPECT_EQ(ra.retransmissions, rb.retransmissions);
+    EXPECT_EQ(ra.outcome, rb.outcome);
+  }
+}
+
+TEST(RetransmittingLink, BackoffDelaysGrowThenTruncate) {
+  const net::RetransmittingLink retx(
+      net::Link(), net::RetransmittingLink::Params::resilient());
+  EXPECT_DOUBLE_EQ(retx.backoff_delay(1), 0.05);
+  EXPECT_DOUBLE_EQ(retx.backoff_delay(2), 0.10);
+  EXPECT_DOUBLE_EQ(retx.backoff_delay(3), 0.20);
+  EXPECT_DOUBLE_EQ(retx.backoff_delay(20), 5.0);  // capped at backoff_max
+  EXPECT_DOUBLE_EQ(retx.backoff_delay(0), 0.0);
+}
+
+TEST(RetransmittingLink, DefaultParamsNeverBackOff) {
+  // The seed contract: without opting into Params::resilient(), retries
+  // cost no extra wall-clock and draw no extra randomness.
+  net::RetransmittingLink::Params p;
+  p.base_loss = 0.4;
+  const net::RetransmittingLink retx(net::Link(), p);
+  u::Rng rng(41);
+  for (int i = 0; i < 30; ++i)
+    EXPECT_DOUBLE_EQ(retx.transfer(200000.0, 1, rng).backoff_wait, 0.0);
+  EXPECT_DOUBLE_EQ(retx.backoff_delay(3), 0.0);
+}
+
+TEST(RetransmittingLink, TimeoutBudgetReportsTimedOut) {
+  net::RetransmittingLink::Params p;
+  p.timeout_budget = 0.5;  // far below a 10 MB transfer at ~8 Mbps
+  const net::RetransmittingLink retx(net::Link(), p);
+  u::Rng rng(42);
+  const auto r = retx.transfer(1.0e7, 1, rng);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.timed_out());
+  EXPECT_EQ(r.outcome, net::TransferOutcome::kTimedOut);
+  EXPECT_STREQ(net::to_string(r.outcome), "timed_out");
+}
+
+TEST(RetransmittingLink, DegradedBandwidthStretchesDuration) {
+  const auto retx = make_retx_link();
+  u::Rng a(43);
+  u::Rng b(43);  // same stream: identical chunk outcomes, scaled timing
+  const auto full = retx.transfer(500000.0, 1, 1.0, a);
+  const auto half = retx.transfer(500000.0, 1, 0.5, b);
+  EXPECT_GT(half.duration, full.duration);
+  EXPECT_EQ(half.retransmissions, full.retransmissions);
+  u::Rng rng(44);
+  EXPECT_THROW(retx.transfer(100.0, 1, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(retx.transfer(100.0, 1, 1.5, rng), std::invalid_argument);
 }
