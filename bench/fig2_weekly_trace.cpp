@@ -4,14 +4,23 @@
 // colony is introduced mid-week, reproducing the "abnormally low inside
 // temperature" stretch of Fig 2a.
 //
+// With hives=N (default 1) the bench becomes the parallel-apiary harness:
+// N co-located hives share the sky but reseed per hive, each simulated on
+// its own engine across util::parallel_for worker threads. Hive 0 is the
+// classic single-hive run (its trace and daily table are byte-identical
+// to hives=1), and the output never depends on `threads` — the committed
+// scripts/anchors/fig2.txt is checked at several thread counts.
+//
 // Usage: fig2_weekly_trace [days=7] [period_min=10] [seed=2024]
 //                          [chain=degraded|nominal] [csv=path]
+//                          [hives=1] [threads=0]
 
 #include <cstdio>
 #include <fstream>
 
 #include "bench_common.hpp"
 #include "hive/beehive.hpp"
+#include "hive/farm.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -28,10 +37,12 @@ int main(int argc, char** argv) {
   const std::string chain =
       args.config().get_string("chain", "degraded");
   const std::string csv_path = args.config().get_string("csv", "");
+  const int hives = static_cast<int>(args.config().get_int("hives", 1));
+  const auto threads =
+      static_cast<unsigned>(args.config().get_int("threads", 0));
 
   bench::banner("Fig 2a/2b", "one week of a deployed smart beehive");
 
-  sim::Engine engine;
   sim::TraceRecorder trace;
   hive::SmartBeehive::Config cfg;
   cfg.seed = seed;
@@ -40,11 +51,13 @@ int main(int argc, char** argv) {
                    ? hive::EnergyChainConfig::nominal(seed)
                    : hive::EnergyChainConfig::degraded(seed);
   cfg.colony_introduction = 3.0 * u::kDay;  // empty hive for half the week
-  hive::SmartBeehive beehive(engine, cfg, &trace);
 
   const double horizon = days * u::kDay;
-  engine.run_until(horizon);
-  beehive.settle();
+  // One engine per hive; hive 0 records the trace. hives=1 is exactly the
+  // classic single-hive run (the farm degenerates to one serial engine).
+  const auto runs = hive::run_hives_parallel(
+      hive::farm_configs(cfg, hives), horizon, threads, &trace);
+  const auto& stats = runs.front().stats;
 
   // Daily digest (the textual rendering of the Fig 2a panels).
   std::printf("\nEnergy chain: %s; wake-up period: %.0f min\n\n",
@@ -87,7 +100,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", daily.render().c_str());
 
-  const auto stats = beehive.stats();
   std::printf("\nWake-ups: %llu attempted, %llu completed, %llu skipped\n",
               static_cast<unsigned long long>(stats.wakeups_attempted),
               static_cast<unsigned long long>(stats.wakeups_completed),
@@ -96,6 +108,34 @@ int main(int argc, char** argv) {
               util::format_joules(stats.harvested).c_str(),
               util::format_joules(stats.consumed).c_str(),
               util::format_duration(stats.outage_time).c_str());
+
+  if (hives > 1) {
+    // Farm digest: per-hive wake-up outcomes (hive 0 is the trace above).
+    std::printf("\nParallel apiary: %d hives, independent engines\n\n",
+                hives);
+    util::AsciiTable farm_table({"Hive", "Attempted", "Completed",
+                                 "Skipped", "Consumed (J)", "Outage (h)",
+                                 "DES events"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& s = runs[i].stats;
+      farm_table.add_row(
+          {std::to_string(i), std::to_string(s.wakeups_attempted),
+           std::to_string(s.wakeups_completed),
+           std::to_string(s.wakeups_skipped),
+           util::AsciiTable::num(s.consumed, 0),
+           util::AsciiTable::num(s.outage_time / u::kHour, 1),
+           std::to_string(runs[i].events_executed)});
+    }
+    std::printf("%s", farm_table.render().c_str());
+    const auto farm = hive::aggregate_farm(runs);
+    std::printf(
+        "\nFarm totals: %llu/%llu wake-ups completed, %s consumed, "
+        "%d hive(s) with outages, %llu DES events\n",
+        static_cast<unsigned long long>(farm.wakeups_completed),
+        static_cast<unsigned long long>(farm.wakeups_attempted),
+        util::format_joules(farm.consumed).c_str(), farm.hives_with_outage,
+        static_cast<unsigned long long>(farm.events_executed));
+  }
 
   // Qualitative Fig 2a checks.
   std::printf("\nFig 2a shape checks:\n");

@@ -1,0 +1,102 @@
+#include "seed_engine.hpp"
+
+#include <stdexcept>
+
+#include "obs/catalog.hpp"
+
+namespace beesim::bench {
+
+namespace {
+
+// Same shape as the seed's EngineMetrics: references resolved once via a
+// function-local static, then a gated inc() per schedule/execute/cancel.
+struct SeedMetrics {
+  obs::Counter& scheduled =
+      obs::registry().counter(obs::metric::kEngineEventsScheduled);
+  obs::Counter& executed =
+      obs::registry().counter(obs::metric::kEngineEventsExecuted);
+  obs::Counter& cancelled =
+      obs::registry().counter(obs::metric::kEngineEventsCancelled);
+  obs::Gauge& max_queue_depth =
+      obs::registry().gauge(obs::metric::kEngineMaxQueueDepth);
+
+  static SeedMetrics& get() {
+    static SeedMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+std::uint64_t SeedEngine::schedule_at(double at, Callback fn) {
+  if (at < now_)
+    throw std::invalid_argument("SeedEngine: time in the past");
+  if (!fn) throw std::invalid_argument("SeedEngine: null callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push({at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  auto& metrics = SeedMetrics::get();
+  metrics.scheduled.inc();
+  metrics.max_queue_depth.update_max(
+      static_cast<double>(callbacks_.size()));
+  return id;
+}
+
+bool SeedEngine::cancel(std::uint64_t id) {
+  const bool cancelled = callbacks_.erase(id) != 0;
+  if (cancelled) SeedMetrics::get().cancelled.inc();
+  return cancelled;
+}
+
+bool SeedEngine::pop_next(Scheduled& out) {
+  while (!queue_.empty()) {
+    Scheduled top = queue_.top();
+    queue_.pop();
+    if (callbacks_.count(top.id) != 0) {
+      out = top;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SeedEngine::run_until(double until) {
+  Scheduled next{};
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!pop_next(next)) break;
+    if (next.at > until) {
+      queue_.push(next);
+      break;
+    }
+    auto it = callbacks_.find(next.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = next.at;
+    ++executed_;
+    SeedMetrics::get().executed.inc();
+    fn(*this);
+  }
+  now_ = until;
+}
+
+void SeedEngine::run() {
+  Scheduled next{};
+  while (pop_next(next)) {
+    auto it = callbacks_.find(next.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = next.at;
+    ++executed_;
+    SeedMetrics::get().executed.inc();
+    fn(*this);
+  }
+}
+
+void SeedPeriodic::arm(double at) {
+  engine->schedule_at(at, [this](SeedEngine& eng) {
+    body(eng);
+    arm(eng.now() + period);
+  });
+}
+
+}  // namespace beesim::bench

@@ -1,0 +1,67 @@
+// Faithful replica of the seed sim::Engine (pre event-pool rewrite),
+// used by des_microbench as the baseline for the speedup claim. It is
+// deliberately compiled in its OWN translation unit with the same flags
+// as src/ — exactly how the seed engine shipped — so the compiler cannot
+// inline or const-propagate the hash-map and std::function machinery
+// beyond what real seed callers ever saw. Kept line-for-line close to
+// the seed: priority_queue + unordered_map<id, std::function>, a
+// per-operation function-local-static metrics lookup with gated counter
+// increments, and a periodic helper that builds a fresh closure every
+// cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace beesim::bench {
+
+class SeedEngine {
+ public:
+  using Callback = std::function<void(SeedEngine&)>;
+
+  double now() const noexcept { return now_; }
+
+  std::uint64_t schedule_at(double at, Callback fn);
+  bool cancel(std::uint64_t id);
+  void run_until(double until);
+  void run();
+
+  std::uint64_t executed() const noexcept { return executed_; }
+  std::size_t pending() const noexcept { return callbacks_.size(); }
+
+ private:
+  struct Scheduled {
+    double at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    friend bool operator>(const Scheduled& a, const Scheduled& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Scheduled& out);
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>,
+                      std::greater<Scheduled>>
+      queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+/// Self-rescheduling periodic closure, exactly how the seed PeriodicTask
+/// armed itself: a brand-new closure every cycle.
+struct SeedPeriodic {
+  SeedEngine* engine;
+  double period;
+  std::function<void(SeedEngine&)> body;
+
+  void arm(double at);
+};
+
+}  // namespace beesim::bench

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification + documentation consistency checks.
 #
-# Usage: scripts/check.sh [build-dir]        (default: build)
+# Usage: scripts/check.sh [build-dir] [--bench] [--sanitize]
+#        (build-dir defaults to: build)
 #
 # 1. Configure, build and run the full test suite.
 # 2. Fast-path parity: fig5 anchors must be identical under the
@@ -10,16 +11,37 @@
 #    benches must be byte-identical to the committed scripts/anchors/
 #    outputs (the fault layer costs nothing until scheduled), and the
 #    resilience sweep itself must be thread-count invariant.
-# 4. Docs link-check:
+# 4. DES anchors: the fig2 farm run must be byte-identical to
+#    scripts/anchors/fig2.txt for threads=1 and threads=4 (the pool
+#    engine + parallel apiary must not move a single digit).
+# 5. Docs link-check:
 #    a. every docs/*.md path referenced from README.md exists;
 #    b. every top-level directory under src/ is mentioned in
 #       docs/ARCHITECTURE.md (the paper↔code map must stay complete);
 #    c. every public class/struct in src/fault headers carries a ///
 #       doc comment (the resilience story must stay documented).
+#
+# Opt-in steps:
+#   --bench     run des_microbench + scale_fleet + kernels_microbench
+#               and write the headline numbers to BENCH_des.json at the
+#               repo root (perf trajectory across PRs).
+#   --sanitize  configure a second build tree (<build-dir>-san) with
+#               -DBEESIM_SANITIZE=address,undefined and run the
+#               sim/fault/net test binaries under ASan+UBSan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-build}"
+build="build"
+run_bench=0
+run_sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    --sanitize) run_sanitize=1 ;;
+    --*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) build="$arg" ;;
+  esac
+done
 fail=0
 
 echo "== tier-1: configure + build + test =="
@@ -109,6 +131,62 @@ else
   echo "  MISMATCH  resilience sweep depends on the thread count"
   diff "$tmp/res1.csv" "$tmp/res4.csv" || true
   fail=1
+fi
+
+echo
+echo "== fig2 farm: byte-identical to anchor for any thread count =="
+"$repo/$build/bench/fig2_weekly_trace" days=2 hives=3 threads=1 \
+  > "$tmp/fig2_t1.txt"
+check_anchor "fig2 threads=1" "$repo/scripts/anchors/fig2.txt" \
+  "$tmp/fig2_t1.txt"
+"$repo/$build/bench/fig2_weekly_trace" days=2 hives=3 threads=4 \
+  > "$tmp/fig2_t4.txt"
+check_anchor "fig2 threads=4" "$repo/scripts/anchors/fig2.txt" \
+  "$tmp/fig2_t4.txt"
+
+if [ "$run_bench" -eq 1 ]; then
+  echo
+  echo "== bench (--bench): headline numbers -> BENCH_des.json =="
+  "$repo/$build/bench/des_microbench" events=2000000 reps=3 \
+    json="$tmp/des.json" | tail -8
+  "$repo/$build/bench/scale_fleet" lo=1000 hi=100000 points=4 cycles=5 \
+    > "$tmp/fleet.txt"
+  hives_per_sec="$(sed -n \
+    's/.*: \([0-9.e+-]*\) hives\/sec.*/\1/p' "$tmp/fleet.txt")"
+  echo "  scale_fleet: $hives_per_sec hives/sec"
+  "$repo/$build/bench/kernels_microbench" \
+    --benchmark_format=json --benchmark_min_time=0.1 \
+    > "$tmp/kernels.json" 2> /dev/null
+  jq -n \
+    --slurpfile des "$tmp/des.json" \
+    --slurpfile kern "$tmp/kernels.json" \
+    --arg hps "$hives_per_sec" \
+    '{des: $des[0],
+      scale_fleet_hives_per_sec: ($hps | tonumber),
+      kernels: [$kern[0].benchmarks[]
+                | {name, real_time, time_unit}]}' \
+    > "$repo/BENCH_des.json"
+  echo "  wrote BENCH_des.json ($(jq -r '.des.periodic_speedup_vs_seed' \
+    "$repo/BENCH_des.json")x periodic speedup vs seed engine)"
+fi
+
+if [ "$run_sanitize" -eq 1 ]; then
+  echo
+  echo "== sanitize (--sanitize): sim/fault/net tests under ASan+UBSan =="
+  cmake -B "$repo/$build-san" -S "$repo" \
+    -DBEESIM_SANITIZE=address,undefined > /dev/null
+  cmake --build "$repo/$build-san" -j \
+    --target test_sim test_fault test_net > /dev/null
+  for t in test_sim test_fault test_net; do
+    if "$repo/$build-san/tests/$t" --gtest_brief=1 > "$tmp/$t.san.log" 2>&1
+    then
+      echo "  ok  $t clean under address,undefined"
+    else
+      echo "  FAILED  $t under sanitizers:"
+      tail -30 "$tmp/$t.san.log" | sed 's/^/    /'
+      fail=1
+    fi
+  done
 fi
 
 echo

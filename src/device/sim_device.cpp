@@ -36,26 +36,31 @@ void SimDevice::run_sequence(const std::vector<std::string>& task_names,
 void SimDevice::run_spec_sequence(TaskSequence tasks, DoneCallback done) {
   if (busy_) throw std::logic_error("SimDevice: already busy");
   busy_ = true;
-  step(*engine_, std::move(tasks), 0, std::move(done));
+  active_tasks_ = std::move(tasks);
+  task_index_ = 0;
+  done_ = std::move(done);
+  step(*engine_);
 }
 
-void SimDevice::step(sim::Engine& engine, TaskSequence tasks,
-                     std::size_t index, DoneCallback done) {
-  if (index == tasks.size()) {
+void SimDevice::step(sim::Engine& engine) {
+  if (task_index_ == active_tasks_.size()) {
     busy_ = false;
     ++completed_;
     enter_sleep();
+    // Clear the sequence state before firing `done`: the callback may
+    // immediately start a new sequence on this very device.
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    active_tasks_.clear();
     if (done) done(engine);
     return;
   }
-  const TaskSpec& task = tasks[index];
+  const TaskSpec& task = active_tasks_[task_index_];
   meter_.set_power(engine.now(), task.power, task.name);
   const util::Seconds duration = task.sampled_duration(rng_);
-  engine.schedule_after(duration, [this, tasks = std::move(tasks), index,
-                                   done = std::move(done)](
-                                      sim::Engine& eng) mutable {
-    step(eng, std::move(tasks), index + 1, std::move(done));
-  });
+  ++task_index_;
+  engine.schedule_after(duration,
+                        [this](sim::Engine& eng) { step(eng); });
 }
 
 }  // namespace beesim::device

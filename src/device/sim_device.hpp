@@ -49,8 +49,7 @@ class SimDevice {
   std::uint64_t sequences_completed() const noexcept { return completed_; }
 
  private:
-  void step(sim::Engine& engine, TaskSequence tasks, std::size_t index,
-            DoneCallback done);
+  void step(sim::Engine& engine);
 
   sim::Engine* engine_;
   DeviceProfile profile_;
@@ -58,6 +57,14 @@ class SimDevice {
   util::Rng rng_;
   bool busy_ = false;
   std::uint64_t completed_ = 0;
+  // In-flight sequence state. A device runs at most one sequence at a
+  // time (run_spec_sequence throws while busy), so the sequence lives
+  // here instead of being moved through every step closure — the
+  // scheduled event captures only `this`, which keeps it inside the
+  // engine's inline callback buffer (no per-step allocation).
+  TaskSequence active_tasks_;
+  std::size_t task_index_ = 0;
+  DoneCallback done_;
 };
 
 }  // namespace beesim::device

@@ -11,20 +11,34 @@ Apiary::Apiary(sim::Engine& engine, const Config& config,
     throw std::invalid_argument("Apiary: hive_count < 1");
   hives_.reserve(static_cast<std::size_t>(config_.hive_count));
   for (int i = 0; i < config_.hive_count; ++i) {
-    SmartBeehive::Config hive_cfg = config_.hive;
-    // Shared sky: every hive at the site sees the same irradiance and
-    // weather realization...
-    hive_cfg.energy.irradiance.seed = config_.site_seed;
-    hive_cfg.weather.seed = config_.site_seed ^ 0x5eedULL;
-    // ...but device jitter, sensors, and colonies are per-hive.
-    hive_cfg.seed = config_.site_seed * 1000 +
-                    static_cast<std::uint64_t>(i);
-    hives_.push_back(
-        std::make_unique<SmartBeehive>(engine, hive_cfg, trace != nullptr &&
-                                                          i == 0
-                                                      ? trace
-                                                      : nullptr));
+    hives_.push_back(std::make_unique<SmartBeehive>(
+        engine, hive_config(config_, i),
+        trace != nullptr && i == 0 ? trace : nullptr));
   }
+}
+
+SmartBeehive::Config Apiary::hive_config(const Config& config, int i) {
+  SmartBeehive::Config hive_cfg = config.hive;
+  // Shared sky: every hive at the site sees the same irradiance and
+  // weather realization...
+  hive_cfg.energy.irradiance.seed = config.site_seed;
+  hive_cfg.weather.seed = config.site_seed ^ 0x5eedULL;
+  // ...but device jitter, sensors, and colonies are per-hive.
+  hive_cfg.seed = config.site_seed * 1000 + static_cast<std::uint64_t>(i);
+  return hive_cfg;
+}
+
+std::vector<HiveRun> Apiary::run_parallel(const Config& config,
+                                          sim::SimTime horizon,
+                                          unsigned threads,
+                                          sim::TraceRecorder* trace0) {
+  if (config.hive_count < 1)
+    throw std::invalid_argument("Apiary: hive_count < 1");
+  std::vector<SmartBeehive::Config> configs;
+  configs.reserve(static_cast<std::size_t>(config.hive_count));
+  for (int i = 0; i < config.hive_count; ++i)
+    configs.push_back(hive_config(config, i));
+  return run_hives_parallel(configs, horizon, threads, trace0);
 }
 
 void Apiary::settle() {

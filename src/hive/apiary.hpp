@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hive/beehive.hpp"
+#include "hive/farm.hpp"
 
 namespace beesim::hive {
 
@@ -56,6 +57,23 @@ class Apiary {
 
   /// Aggregated statistics across the site.
   SiteStats site_stats() const;
+
+  /// The exact per-hive config the serial constructor builds for hive
+  /// `i`: shared sky seeds from the site, per-hive seed for everything
+  /// else. Exposed so the parallel path below simulates byte-identical
+  /// hives.
+  static SmartBeehive::Config hive_config(const Config& config, int i);
+
+  /// Runs the site's hives to `horizon`, each on its OWN engine, fanned
+  /// out over util::parallel_for. Because co-located hives never interact
+  /// (they share seeds, not state), the per-hive stats and the hive-0
+  /// trace are bit-identical to building the Apiary on one shared engine
+  /// and running it serially — for any thread count (tested in
+  /// tests/test_apiary.cpp). `trace0` records hive 0's series like the
+  /// serial constructor's recorder.
+  static std::vector<HiveRun> run_parallel(
+      const Config& config, sim::SimTime horizon, unsigned threads = 0,
+      sim::TraceRecorder* trace0 = nullptr);
 
   const Config& config() const noexcept { return config_; }
 

@@ -10,7 +10,9 @@ void register_catalog(Registry& reg) {
   namespace m = metric;
   for (const char* name :
        {m::kEngineEventsScheduled, m::kEngineEventsExecuted,
-        m::kEngineEventsCancelled, m::kAllocatorCalls,
+        m::kEngineEventsCancelled, m::kEnginePoolReuses,
+        m::kEnginePoolSpills, m::kEnginePoolRearms,
+        m::kEnginePoolCompactions, m::kAllocatorCalls,
         m::kAllocatorClientsPlaced, m::kAllocatorCompactCalls,
         m::kOrchestratorEvaluations,
         m::kOrchestratorInfeasible, m::kOrchestratorPlacementsEdge,
@@ -33,7 +35,8 @@ void register_catalog(Registry& reg) {
         m::kBatteryDerateEvents, m::kMeterStateChanges})
     reg.counter(name);
   for (const char* name :
-       {m::kEngineMaxQueueDepth, m::kFleetMaxServersUsed,
+       {m::kEngineMaxQueueDepth, m::kEnginePoolSlots,
+        m::kFleetMaxServersUsed,
         m::kFleetSweepThreads, m::kDspMelBandNnz,
         m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
         m::kBatteryDischargeJoules, m::kBackoffWaitSeconds,

@@ -21,6 +21,14 @@ inline constexpr const char* kEngineEventsCancelled =
 inline constexpr const char* kEngineMaxQueueDepth =
     "sim.engine.max_queue_depth";
 
+// sim::Engine — slab/free-list event pool (the zero-allocation hot path).
+inline constexpr const char* kEnginePoolSlots = "sim.engine.pool_slots";
+inline constexpr const char* kEnginePoolReuses = "sim.engine.pool_reuses";
+inline constexpr const char* kEnginePoolSpills = "sim.engine.pool_spills";
+inline constexpr const char* kEnginePoolRearms = "sim.engine.pool_rearms";
+inline constexpr const char* kEnginePoolCompactions =
+    "sim.engine.pool_compactions";
+
 // core::allocate — client -> server/slot assignment.
 inline constexpr const char* kAllocatorCalls = "core.allocator.calls";
 inline constexpr const char* kAllocatorClientsPlaced =

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/catalog.hpp"
@@ -7,8 +8,12 @@
 namespace beesim::sim {
 
 // Instrument references are resolved once (function-local statics) so the
-// hot path never touches the registry lock; every mutation is gated on
-// obs::enabled() inside the instrument, keeping disabled runs unchanged.
+// registry lock is never taken after the first flush. The engine keeps
+// its own plain counters on the hot path and flushes deltas here at the
+// end of each run()/run_until() call (and on destruction): with
+// observability disabled the event loop performs zero instrument calls,
+// and with it enabled the flushed totals match the seed engine's
+// per-event increments exactly.
 namespace {
 
 struct EngineMetrics {
@@ -20,6 +25,16 @@ struct EngineMetrics {
       obs::registry().counter(obs::metric::kEngineEventsCancelled);
   obs::Gauge& max_queue_depth =
       obs::registry().gauge(obs::metric::kEngineMaxQueueDepth);
+  obs::Gauge& pool_slots =
+      obs::registry().gauge(obs::metric::kEnginePoolSlots);
+  obs::Counter& pool_reuses =
+      obs::registry().counter(obs::metric::kEnginePoolReuses);
+  obs::Counter& pool_spills =
+      obs::registry().counter(obs::metric::kEnginePoolSpills);
+  obs::Counter& pool_rearms =
+      obs::registry().counter(obs::metric::kEnginePoolRearms);
+  obs::Counter& pool_compactions =
+      obs::registry().counter(obs::metric::kEnginePoolCompactions);
 
   static EngineMetrics& get() {
     static EngineMetrics m;
@@ -29,18 +44,98 @@ struct EngineMetrics {
 
 }  // namespace
 
+Engine::~Engine() { flush_metrics(); }
+
+void Engine::flush_metrics() noexcept {
+  if (!obs::enabled()) return;
+  auto& m = EngineMetrics::get();
+  m.scheduled.inc(scheduled_total_ - flushed_scheduled_);
+  m.executed.inc(executed_ - flushed_executed_);
+  m.cancelled.inc(cancelled_total_ - flushed_cancelled_);
+  m.pool_reuses.inc(reuses_ - flushed_reuses_);
+  m.pool_spills.inc(spills_ - flushed_spills_);
+  m.pool_rearms.inc(rearms_ - flushed_rearms_);
+  m.pool_compactions.inc(compactions_ - flushed_compactions_);
+  flushed_scheduled_ = scheduled_total_;
+  flushed_executed_ = executed_;
+  flushed_cancelled_ = cancelled_total_;
+  flushed_reuses_ = reuses_;
+  flushed_spills_ = spills_;
+  flushed_rearms_ = rearms_;
+  flushed_compactions_ = compactions_;
+  m.max_queue_depth.update_max(static_cast<double>(max_live_));
+  m.pool_slots.update_max(static_cast<double>(slot_count_));
+}
+
+void Engine::release_slot(std::uint32_t s) noexcept {
+  Slot& sl = slot(s);
+  sl.next_free = free_head_;
+  free_head_ = s;
+  ++free_count_;
+}
+
+bool Engine::entry_live(const HeapEntry& e) const noexcept {
+  const Slot& s = slot(e.slot);
+  return s.armed && s.gen == e.gen;
+}
+
+// 4-ary implicit heap: children of i are 4i+1..4i+4. Same O(log n) as a
+// binary heap but half the sift depth on pops, which dominate the run
+// loop; the four children of a node sit in 96 contiguous bytes.
+
+void Engine::heap_push(const HeapEntry& e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::heap_sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Engine::heap_pop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+}
+
+// queue_push (front-slot fast path) and arm_slot are defined inline in
+// the header so the schedule templates fold them into call sites.
+
+void Engine::queue_pop_top() noexcept {
+  if (front_valid_)
+    front_valid_ = false;
+  else
+    heap_pop();
+}
+
 EventId Engine::schedule_at(SimTime at, Callback fn) {
   if (at < now_)
     throw std::invalid_argument("Engine::schedule_at: time in the past");
   if (!fn) throw std::invalid_argument("Engine::schedule_at: null callback");
-  const EventId id = next_id_++;
-  queue_.push({at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  auto& metrics = EngineMetrics::get();
-  metrics.scheduled.inc();
-  metrics.max_queue_depth.update_max(
-      static_cast<double>(callbacks_.size()));
-  return id;
+  Slot* sp = nullptr;
+  const std::uint32_t idx = acquire_slot(&sp);
+  sp->fn = std::move(fn);
+  return arm_slot(at, idx, *sp);
 }
 
 EventId Engine::schedule_after(SimTime delay, Callback fn) {
@@ -50,60 +145,130 @@ EventId Engine::schedule_after(SimTime delay, Callback fn) {
 }
 
 bool Engine::cancel(EventId id) {
-  const bool cancelled = callbacks_.erase(id) != 0;
-  if (cancelled) EngineMetrics::get().cancelled.inc();
-  return cancelled;
+  if (id == 0) return false;
+  const std::uint32_t idx = slot_of(id);
+  if (idx >= slot_count_) return false;
+  Slot& s = slot(idx);
+  if (s.gen != gen_of(id) || !s.armed) return false;
+  s.fn.reset();
+  s.armed = false;
+  ++s.gen;  // tombstones the heap entry and invalidates the id in O(1)
+  release_slot(idx);
+  --live_;
+  ++tombstones_;
+  ++cancelled_total_;
+  compact_if_stale();
+  return true;
 }
 
-bool Engine::pop_next(Scheduled& out) {
-  while (!queue_.empty()) {
-    Scheduled top = queue_.top();
-    queue_.pop();
-    if (callbacks_.count(top.id) != 0) {
-      out = top;
-      return true;
-    }
-    // Tombstone from a cancel(); skip.
+void Engine::compact_if_stale() {
+  // Sweep when dead entries dominate: a cancel-heavy run keeps the heap
+  // proportional to the live event count instead of the cancel count.
+  if (tombstones_ < 64 || tombstones_ * 2 < heap_.size()) return;
+  std::erase_if(heap_,
+                [this](const HeapEntry& e) { return !entry_live(e); });
+  for (std::size_t i = heap_.size() / 4 + 1; i-- > 0;)
+    if (i < heap_.size()) heap_sift_down(i);
+  tombstones_ = 0;
+  ++compactions_;
+}
+
+EventId Engine::reschedule_current(SimTime at) {
+  if (exec_slot_ == kNilSlot)
+    throw std::logic_error(
+        "Engine::reschedule_current: no event is executing");
+  if (at < now_)
+    throw std::invalid_argument(
+        "Engine::reschedule_current: time in the past");
+  rearm_requested_ = true;
+  rearm_at_ = at;
+  return make_id(exec_slot_, exec_gen_);
+}
+
+void Engine::execute_event(Slot& s, const HeapEntry& e) {
+  // The callback runs in place inside the pool: chunk addresses never
+  // move, so even a callback that grows the slab cannot invalidate its
+  // own storage. The slot stays off the free list while the callback
+  // runs — reschedule_current() may re-arm it, and a cancel() of the
+  // executing id correctly fails (armed is already false).
+  s.armed = false;
+  --live_;
+  now_ = e.at;
+  ++executed_;
+  exec_slot_ = e.slot;
+  exec_gen_ = e.gen;
+  rearm_requested_ = false;
+  try {
+    s.fn(*this);
+  } catch (...) {
+    exec_slot_ = kNilSlot;
+    s.fn.reset();
+    ++s.gen;
+    release_slot(e.slot);
+    throw;
   }
-  return false;
+  exec_slot_ = kNilSlot;
+  if (rearm_requested_) {
+    // Periodic fast path: callback, slot, and id all stay put; the only
+    // work is one queue push. live_ returns to its pre-pop value, so the
+    // max_live_ watermark cannot move here.
+    s.armed = true;
+    queue_push({rearm_at_, next_seq_++, e.slot, e.gen});
+    ++live_;
+    ++rearms_;
+    ++scheduled_total_;
+  } else {
+    s.fn.reset();
+    ++s.gen;
+    release_slot(e.slot);
+  }
 }
 
 void Engine::run_until(SimTime until) {
   if (until < now_)
     throw std::invalid_argument("Engine::run_until: horizon in the past");
-  Scheduled next{};
-  while (!queue_.empty() && queue_.top().at <= until) {
-    if (!pop_next(next)) break;
-    if (next.at > until) {
-      // The popped event lies beyond the horizon; reinsert and stop.
-      queue_.push(next);
-      break;
+  while (front_valid_ || !heap_.empty()) {
+    const HeapEntry e = front_valid_ ? front_ : heap_[0];
+    Slot& s = slot(e.slot);
+    if (s.gen != e.gen || !s.armed) {
+      queue_pop_top();
+      --tombstones_;
+      continue;
     }
-    auto it = callbacks_.find(next.id);
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = next.at;
-    ++executed_;
-    EngineMetrics::get().executed.inc();
-    fn(*this);
+    if (e.at > until) break;
+    queue_pop_top();
+    execute_event(s, e);
   }
   now_ = until;
+  flush_metrics();
 }
 
 void Engine::run() {
-  Scheduled next{};
-  while (pop_next(next)) {
-    auto it = callbacks_.find(next.id);
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = next.at;
-    ++executed_;
-    EngineMetrics::get().executed.inc();
-    fn(*this);
+  while (front_valid_ || !heap_.empty()) {
+    const HeapEntry e = front_valid_ ? front_ : heap_[0];
+    Slot& s = slot(e.slot);
+    if (s.gen != e.gen || !s.armed) {
+      queue_pop_top();
+      --tombstones_;
+      continue;
+    }
+    queue_pop_top();
+    execute_event(s, e);
   }
+  flush_metrics();
 }
 
-std::size_t Engine::pending() const noexcept { return callbacks_.size(); }
+Engine::PoolStats Engine::pool_stats() const noexcept {
+  PoolStats stats;
+  stats.slots = slot_count_;
+  stats.free_slots = free_count_;
+  stats.tombstones = tombstones_;
+  stats.reuses = reuses_;
+  stats.spills = spills_;
+  stats.rearms = rearms_;
+  stats.compactions = compactions_;
+  return stats;
+}
 
 PeriodicTask::PeriodicTask(Engine& engine, SimTime start, SimTime period,
                            Callback fn)
@@ -129,10 +294,17 @@ void PeriodicTask::set_period(SimTime period) {
 }
 
 void PeriodicTask::arm(Engine& engine, SimTime at) {
+  // One closure for the task's whole lifetime: each firing re-arms the
+  // same pool slot in place (same EventId), so the steady state performs
+  // no allocation and no free-list traffic. stop() from inside the
+  // callback is safe — the executing event cannot be cancelled, and the
+  // re-arm is skipped.
   pending_ = engine.schedule_at(at, [this](Engine& eng) {
-    pending_ = 0;
     fn_(eng, *this);
-    if (!stopped_) arm(eng, eng.now() + period_);
+    if (!stopped_)
+      pending_ = eng.reschedule_current(eng.now() + period_);
+    else
+      pending_ = 0;
   });
 }
 

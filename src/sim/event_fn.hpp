@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace beesim::sim {
+
+class Engine;
+
+/// Move-only callable slot for engine events, small-buffer optimized.
+///
+/// The seed engine stored one `std::function` per scheduled event, which
+/// heap-allocates for any capture larger than the libstdc++ inline buffer
+/// (two words) and again every time a periodic task re-armed itself. The
+/// event pool instead embeds an EventFn in every slot: callables up to
+/// `kInlineBytes` (this-pointer lambdas, std::function wrappers, small
+/// capture packs) live inline in the slot and moving one between the slot
+/// and the execution frame is a relocate (move-construct + destroy) with
+/// no allocator traffic. Oversized captures spill to a single heap box —
+/// the engine counts those as `pool_spills` so a hot path that silently
+/// regressed to heap callbacks is visible in the metrics.
+///
+/// Invocation is a single indirect call through a per-type operations
+/// table (invoke / relocate / destroy), the manual equivalent of a vtable
+/// without the per-object allocation. Trivially copyable captures — the
+/// common case: this-pointer lambdas and small POD state packs — get
+/// null relocate/destroy entries, so moving one is a plain memcpy and
+/// retiring one is free; invoke is then the only indirect call an event
+/// ever makes.
+class EventFn {
+ public:
+  /// Inline capture budget. Sized for the engine's real callers: the
+  /// largest non-test capture today is a this-pointer plus a
+  /// `std::function` copy (8 + 32 bytes); 48 leaves headroom without
+  /// bloating the pool slot.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&, Engine&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule_at call site.
+    emplace(std::forward<F>(f));
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  bool operator!() const noexcept { return ops_ == nullptr; }
+
+  /// True when the callable lives in the inline buffer (no heap box).
+  bool inline_stored() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+  void operator()(Engine& engine) { ops_->invoke(&storage_, engine); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Constructs `f` directly in this EventFn (which must be empty or
+  /// reset first). Public so the engine can emplace a callable straight
+  /// into a pool slot without building an EventFn temporary and
+  /// relocating it — the schedule fast path.
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      static constexpr Ops ops = {
+          [](void* s, Engine& e) {
+            (*std::launder(reinterpret_cast<Fn*>(s)))(e);
+          },
+          nullptr, nullptr, true};
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &ops;
+    } else if constexpr (sizeof(Fn) <= kInlineBytes &&
+                         alignof(Fn) <= alignof(std::max_align_t) &&
+                         std::is_nothrow_move_constructible_v<Fn>) {
+      static constexpr Ops ops = {
+          [](void* s, Engine& e) {
+            (*std::launder(reinterpret_cast<Fn*>(s)))(e);
+          },
+          [](void* dst, void* src) noexcept {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+          },
+          [](void* s) noexcept {
+            std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+          },
+          true};
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &ops;
+    } else {
+      static constexpr Ops ops = {
+          [](void* s, Engine& e) {
+            (**std::launder(reinterpret_cast<Fn**>(s)))(e);
+          },
+          [](void* dst, void* src) noexcept {
+            // Ownership transfer: only the pointer moves.
+            ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+          },
+          [](void* s) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(s));
+          },
+          false};
+      Fn* boxed = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(&storage_)) Fn*(boxed);
+      ops_ = &ops;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage, Engine& engine);
+    /// Move-constructs the callable at dst from src and destroys src.
+    /// Null for trivially copyable inline callables: relocation is a
+    /// plain memcpy of the buffer.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// Null when destruction is a no-op (trivially destructible inline).
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr)
+        ops_->relocate(&storage_, &other.storage_);
+      else
+        std::memcpy(&storage_, &other.storage_, kInlineBytes);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace beesim::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "hive/apiary.hpp"
 #include "sim/engine.hpp"
 #include "util/units.hpp"
@@ -105,4 +107,58 @@ TEST(Apiary, DeterministicForSiteSeed) {
   };
   EXPECT_DOUBLE_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));
+}
+
+// ------------------------------------------------- Parallel apiary
+
+TEST(Apiary, ParallelMatchesSerialExactly) {
+  const auto cfg = site_config(3, 31);
+  const double horizon = 0.5 * u::kDay;
+
+  // Serial reference: all hives on one shared engine.
+  beesim::sim::Engine engine;
+  beesim::sim::TraceRecorder serial_trace;
+  hive::Apiary apiary(engine, cfg, &serial_trace);
+  engine.run_until(horizon);
+  apiary.settle();
+
+  // Parallel: one engine per hive across worker threads. Co-located
+  // hives share seeds, not state, so everything observable must be
+  // bit-identical — EQ on doubles, not NEAR.
+  beesim::sim::TraceRecorder par_trace;
+  const auto runs = hive::Apiary::run_parallel(cfg, horizon, 3, &par_trace);
+
+  ASSERT_EQ(runs.size(), apiary.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& s = apiary.hive(i).stats();
+    const auto& p = runs[i].stats;
+    EXPECT_EQ(p.wakeups_attempted, s.wakeups_attempted) << "hive " << i;
+    EXPECT_EQ(p.wakeups_completed, s.wakeups_completed) << "hive " << i;
+    EXPECT_EQ(p.wakeups_skipped, s.wakeups_skipped) << "hive " << i;
+    EXPECT_EQ(p.consumed, s.consumed) << "hive " << i;
+    EXPECT_EQ(p.harvested, s.harvested) << "hive " << i;
+    EXPECT_EQ(p.outage_time, s.outage_time) << "hive " << i;
+  }
+  // Hive 0's trace must also be byte-identical (the serial constructor
+  // records hive 0 only, matching run_parallel's trace0).
+  EXPECT_EQ(par_trace.names(), serial_trace.names());
+  std::ostringstream a, b;
+  serial_trace.write_csv(a, 0.0, horizon, 60.0);
+  par_trace.write_csv(b, 0.0, horizon, 60.0);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Apiary, ParallelIsThreadCountInvariant) {
+  const auto cfg = site_config(4, 33);
+  const double horizon = 0.25 * u::kDay;
+  const auto t1 = hive::Apiary::run_parallel(cfg, horizon, 1);
+  const auto t4 = hive::Apiary::run_parallel(cfg, horizon, 4);
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].events_executed, t4[i].events_executed) << "hive " << i;
+    EXPECT_EQ(t1[i].stats.consumed, t4[i].stats.consumed) << "hive " << i;
+    EXPECT_EQ(t1[i].stats.harvested, t4[i].stats.harvested) << "hive " << i;
+    EXPECT_EQ(t1[i].stats.wakeups_completed, t4[i].stats.wakeups_completed)
+        << "hive " << i;
+  }
 }

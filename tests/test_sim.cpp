@@ -1,10 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
 #include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace sim = beesim::sim;
 
@@ -249,6 +257,220 @@ TEST(TraceRecorder, CsvExportHasHeaderAndGrid) {
   for (char c : s)
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, 4);
+}
+
+// ------------------------------------------------- Event-pool internals
+
+TEST(EnginePool, CancelTombstonesWithoutExecuting) {
+  sim::Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&](sim::Engine&) { ++fired; });
+  const auto gone = engine.schedule_at(2.0, [&](sim::Engine&) { ++fired; });
+  EXPECT_EQ(engine.pending(), 2u);
+  EXPECT_TRUE(engine.cancel(gone));
+  EXPECT_EQ(engine.pending(), 1u);    // cancel leaves the live set at once
+  EXPECT_FALSE(engine.cancel(gone));  // double-cancel fails
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.executed(), 1u);  // a tombstone never counts as executed
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EnginePool, StaleIdCannotCancelRecycledSlot) {
+  sim::Engine engine;
+  int fired = 0;
+  const auto first = engine.schedule_at(1.0, [&](sim::Engine&) { fired = 1; });
+  ASSERT_TRUE(engine.cancel(first));
+  const auto second =
+      engine.schedule_at(1.0, [&](sim::Engine&) { fired = 2; });
+  // The freed slot was recycled for `second` with a bumped generation, so
+  // the stale handle must fail the validity check instead of cancelling
+  // whatever lives in the slot now.
+  EXPECT_EQ(engine.pool_stats().reuses, 1u);
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(engine.cancel(first));
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EnginePool, CancelHeavyRunCompactsTombstones) {
+  sim::Engine engine;
+  int fired = 0;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(engine.schedule_at(1.0 + i,
+                                     [&fired](sim::Engine&) { ++fired; }));
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (i % 10 != 0) engine.cancel(ids[i]);
+  const auto stats = engine.pool_stats();
+  EXPECT_GT(stats.compactions, 0u);  // sweeps ran during the cancel storm
+  EXPECT_LT(stats.tombstones, 450u);  // dead entries do not accumulate
+  EXPECT_EQ(engine.pending(), 100u);
+  engine.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(engine.executed(), 100u);
+}
+
+TEST(EnginePool, PeriodicRearmsOneSlotInPlace) {
+  sim::Engine engine;
+  int fired = 0;
+  sim::PeriodicTask task(engine, 0.5, 1.0,
+                         [&](sim::Engine&, sim::PeriodicTask&) { ++fired; });
+  engine.run_until(100.0);
+  EXPECT_EQ(fired, 100);
+  const auto stats = engine.pool_stats();
+  EXPECT_EQ(stats.slots, 1u);  // one pool slot for the task's lifetime
+  EXPECT_GE(stats.rearms, 99u);
+  EXPECT_EQ(stats.spills, 0u);  // the [this] closure stays inline
+}
+
+TEST(EnginePool, OversizedCaptureSpillsAndStillRuns) {
+  sim::Engine engine;
+  std::array<double, 16> big{};  // 128 bytes: overflows the inline buffer
+  big[0] = 7.0;
+  double got = 0.0;
+  engine.schedule_at(1.0, [big, &got](sim::Engine&) { got = big[0]; });
+  EXPECT_EQ(engine.pool_stats().spills, 1u);
+  engine.run();
+  EXPECT_DOUBLE_EQ(got, 7.0);
+}
+
+TEST(EnginePool, RescheduleCurrentOutsideCallbackThrows) {
+  sim::Engine engine;
+  EXPECT_THROW(engine.reschedule_current(1.0), std::logic_error);
+}
+
+TEST(EnginePool, RescheduleCurrentKeepsIdStableAcrossFirings) {
+  sim::Engine engine;
+  int fires = 0;
+  std::vector<sim::EventId> seen;
+  sim::EventId id = 0;
+  id = engine.schedule_at(1.0, [&](sim::Engine& e) {
+    ++fires;
+    // The executing event cannot be cancelled — its re-arm decision
+    // belongs to the callback alone.
+    EXPECT_FALSE(e.cancel(id));
+    if (fires < 3) seen.push_back(e.reschedule_current(e.now() + 1.0));
+  });
+  engine.run_until(10.0);
+  EXPECT_EQ(fires, 3);
+  ASSERT_EQ(seen.size(), 2u);
+  for (const auto s : seen) EXPECT_EQ(s, id);  // id stable across re-arms
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+// ------------------------------------------------- Seed-order contract
+
+namespace {
+
+/// Faithful miniature of the pre-pool engine: a (time, seq)-ordered
+/// priority_queue plus an id → std::function hash map (cancel = erase,
+/// pop skips erased ids). The pool engine must reproduce this engine's
+/// execution order exactly on any workload — the (time, seq) contract is
+/// the engine's ABI.
+class MiniSeedEngine {
+ public:
+  using Callback = std::function<void(MiniSeedEngine&)>;
+
+  double now() const noexcept { return now_; }
+
+  std::uint64_t schedule_at(double at, Callback fn) {
+    const std::uint64_t id = next_id_++;
+    queue_.push({at, seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) { return callbacks_.erase(id) > 0; }
+
+  void run_until(double until) {
+    while (!queue_.empty()) {
+      const Scheduled top = queue_.top();
+      const auto it = callbacks_.find(top.id);
+      if (it == callbacks_.end()) {  // cancelled: skip the tombstone
+        queue_.pop();
+        continue;
+      }
+      if (top.at > until) break;
+      queue_.pop();
+      Callback fn = std::move(it->second);
+      callbacks_.erase(it);
+      now_ = top.at;
+      fn(*this);
+    }
+    now_ = until;
+  }
+
+ private:
+  struct Scheduled {
+    double at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const Scheduled& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+  std::priority_queue<Scheduled, std::vector<Scheduled>,
+                      std::greater<Scheduled>>
+      queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Randomized schedule/nest/cancel workload, identical for any engine
+/// with the schedule_at/cancel/run_until surface. Every executed event
+/// logs (time, tag); because the callbacks also drive the shared Rng,
+/// any divergence in execution order derails the whole log, so exact
+/// log equality is a strong order check.
+template <class E>
+struct WorkloadDriver {
+  E engine;
+  beesim::util::Rng rng{20260806};
+  std::vector<std::pair<double, int>> log;
+  std::vector<std::uint64_t> ids;
+  int next_tag = 0;
+
+  void fire(int tag, int depth) {
+    log.emplace_back(engine.now(), tag);
+    if (depth >= 3) return;
+    const auto kids = rng.uniform_int(0, 2);
+    for (std::int64_t k = 0; k < kids; ++k) {
+      const double dt = rng.uniform(0.0, 5.0);
+      const int t = next_tag++;
+      const int d = depth + 1;
+      ids.push_back(engine.schedule_at(engine.now() + dt,
+                                       [this, t, d](E&) { fire(t, d); }));
+    }
+    if (!ids.empty() && rng.uniform() < 0.3) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1));
+      engine.cancel(ids[pick]);
+    }
+  }
+
+  std::vector<std::pair<double, int>> run() {
+    for (int i = 0; i < 200; ++i) {
+      const double at = rng.uniform(0.0, 50.0);
+      const int t = next_tag++;
+      ids.push_back(
+          engine.schedule_at(at, [this, t](E&) { fire(t, 1); }));
+    }
+    engine.run_until(100.0);
+    return log;
+  }
+};
+
+}  // namespace
+
+TEST(EngineDeterminism, MatchesSeedEngineOrder) {
+  WorkloadDriver<sim::Engine> pool;
+  WorkloadDriver<MiniSeedEngine> seed;
+  const auto pool_log = pool.run();
+  const auto seed_log = seed.run();
+  ASSERT_GT(pool_log.size(), 200u);  // nesting actually happened
+  EXPECT_EQ(pool_log, seed_log);
 }
 
 // ----------------------------------------------------------- Determinism
