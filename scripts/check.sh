@@ -14,12 +14,17 @@
 # 4. DES anchors: the fig2 farm run must be byte-identical to
 #    scripts/anchors/fig2.txt for threads=1 and threads=4 (the pool
 #    engine + parallel apiary must not move a single digit).
-# 5. Docs link-check:
-#    a. every docs/*.md path referenced from README.md exists;
+# 5. Serving smoke: a small multi-tenant serving_load run must balance
+#    its admission ledger, pass its bit-identity parity self-check, and
+#    hit the cache on an overlapping workload.
+# 6. Docs link-check:
+#    a. every local markdown link in README.md, DESIGN.md,
+#       EXPERIMENTS.md and docs/*.md resolves to an existing file;
 #    b. every top-level directory under src/ is mentioned in
 #       docs/ARCHITECTURE.md (the paper↔code map must stay complete);
-#    c. every public class/struct in src/fault headers carries a ///
-#       doc comment (the resilience story must stay documented).
+#    c. every public class/struct in src/fault and src/serve headers
+#       carries a /// doc comment (the resilience and serving stories
+#       must stay documented).
 #
 # Opt-in steps:
 #   --bench     run des_microbench + scale_fleet + kernels_microbench
@@ -190,12 +195,39 @@ if [ "$run_sanitize" -eq 1 ]; then
 fi
 
 echo
-echo "== docs: src/fault public types carry /// doc comments =="
-for hdr in "$repo"/src/fault/*.hpp; do
+echo "== serving: load smoke + ledger + cache self-checks =="
+"$repo/$build/bench/serving_load" tenants=4 requests_per_tenant=10 \
+  scenarios=2 cycles_per_point=50 workers=2 > "$tmp/serving.txt"
+if grep -q "admission ledger ok" "$tmp/serving.txt"; then
+  echo "  ok  admission ledger balanced (no silent drops)"
+else
+  echo "  MISMATCH  admission ledger leaked"
+  fail=1
+fi
+if grep -q "serving parity ok" "$tmp/serving.txt"; then
+  echo "  ok  cached responses bit-identical to direct computes"
+else
+  echo "  MISMATCH  serving parity self-check failed"
+  fail=1
+fi
+hit_ratio="$(sed -n 's/.*cache_hit_ratio=\([0-9.]*\).*/\1/p' \
+  "$tmp/serving.txt")"
+if awk -v r="${hit_ratio:-0}" 'BEGIN { exit !(r > 0) }'; then
+  echo "  ok  overlapping tenants hit the cache (hit ratio $hit_ratio)"
+else
+  echo "  MISMATCH  cache hit ratio is 0 on an overlapping workload"
+  fail=1
+fi
+
+echo
+echo "== docs: src/fault + src/serve public types carry /// doc comments =="
+for hdr in "$repo"/src/fault/*.hpp "$repo"/src/serve/*.hpp; do
   # Every class/struct declared at column 0 must be directly preceded by
-  # a Doxygen-style /// line (possibly via other /// lines above it).
+  # a Doxygen-style /// line (possibly via other /// lines above it; a
+  # template<...> header line between the two is allowed).
   missing="$(awk '
     /^\/\/\// { doc = 1; next }
+    /^template/ { next }
     /^(class|struct) [A-Za-z]/ {
       if (!doc) print FILENAME ": " $0
     }
@@ -211,15 +243,27 @@ for hdr in "$repo"/src/fault/*.hpp; do
 done
 
 echo
-echo "== docs: README-referenced docs/*.md exist =="
-while read -r doc; do
-  if [ -f "$repo/$doc" ]; then
-    echo "  ok  $doc"
-  else
-    echo "  MISSING  $doc (referenced from README.md)"
-    fail=1
-  fi
-done < <(grep -o 'docs/[A-Za-z0-9_.-]*\.md' "$repo/README.md" | sort -u)
+echo "== docs: every markdown cross-reference resolves =="
+# Covers README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md: every local
+# `](path.md)` link target must exist, resolved relative to the linking
+# file (with a repo-root fallback for historical `docs/...` style links).
+for md in "$repo"/README.md "$repo"/DESIGN.md "$repo"/EXPERIMENTS.md \
+          "$repo"/docs/*.md; do
+  [ -f "$md" ] || continue
+  broken=0
+  while read -r target; do
+    clean="${target%%#*}"
+    [ -n "$clean" ] || continue
+    case "$clean" in http*|/*) continue ;; esac
+    if [ ! -f "$(dirname "$md")/$clean" ] && [ ! -f "$repo/$clean" ]; then
+      echo "  BROKEN  $(basename "$md") -> $clean"
+      broken=1
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*\.md[^)]*)' "$md" | sed 's/^](//; s/)$//' \
+           | sort -u)
+  [ "$broken" -eq 0 ] && echo "  ok  $(basename "$md")"
+done
 
 echo
 echo "== docs: every src/ module mentioned in docs/ARCHITECTURE.md =="

@@ -1,0 +1,147 @@
+#include "core/canonical.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace beesim::core {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Structure tags: one per hashed type, so a ClientSpec can never alias a
+// ServerSpec even if their field bytes happened to line up.
+enum : std::uint8_t {
+  kTagTask = 0x01,
+  kTagClient = 0x02,
+  kTagServer = 0x03,
+  kTagLoss = 0x04,
+  kTagFleet = 0x05,
+  kTagFaultWindow = 0x06,
+  kTagFaultPlan = 0x07,
+  kTagPolicy = 0x08,
+};
+
+}  // namespace
+
+std::string Hash128::to_string() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx.%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void CanonicalHasher::byte(std::uint8_t b) noexcept {
+  a_ = (a_ ^ b) * kFnvPrime;
+  b_ = splitmix64(b_ ^ b);
+}
+
+void CanonicalHasher::u64(std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void CanonicalHasher::f64(double v) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void CanonicalHasher::str(std::string_view s) noexcept {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void CanonicalHasher::bytes(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) byte(p[i]);
+}
+
+void hash_append(CanonicalHasher& h, const device::TaskSpec& task) {
+  h.tag(kTagTask);
+  h.str(task.name);
+  h.f64(task.duration);
+  h.f64(task.power);
+  h.f64(task.duration_stddev);
+}
+
+void hash_append(CanonicalHasher& h, const ClientSpec& client) {
+  h.tag(kTagClient);
+  h.f64(client.sleep_power);
+  h.u64(client.actions.size());
+  for (const auto& task : client.actions) hash_append(h, task);
+  h.f64(client.period);
+}
+
+void hash_append(CanonicalHasher& h, const ServerSpec& server) {
+  h.tag(kTagServer);
+  h.f64(server.idle_power);
+  h.f64(server.receive_time);
+  h.f64(server.receive_power);
+  h.f64(server.process_time);
+  h.f64(server.process_power);
+  h.i64(server.max_parallel);
+  h.f64(server.cycle);
+  h.f64(server.extra_transfer_per_client);
+}
+
+void hash_append(CanonicalHasher& h, const LossConfig& loss) {
+  h.tag(kTagLoss);
+  h.boolean(loss.slot_saturation);
+  h.i64(loss.saturation_slack);
+  h.f64(loss.saturation_penalty);
+  h.boolean(loss.transfer_stretch);
+  h.f64(loss.extra_transfer_per_client);
+  h.boolean(loss.client_dropout);
+  h.f64(loss.dropout_mean_fraction);
+  h.f64(loss.dropout_stddev);
+}
+
+void hash_append(CanonicalHasher& h, const FleetParams& params) {
+  h.tag(kTagFleet);
+  hash_append(h, params.client);
+  hash_append(h, params.server);
+  h.i64(static_cast<std::int64_t>(params.policy));
+  hash_append(h, params.loss);
+  h.boolean(params.compact_allocation);
+}
+
+void hash_append(CanonicalHasher& h, const fault::FaultWindow& window) {
+  h.tag(kTagFaultWindow);
+  h.i64(static_cast<std::int64_t>(window.kind));
+  h.i64(window.first_cycle);
+  h.i64(window.last_cycle);
+  h.f64(window.severity);
+}
+
+void hash_append(CanonicalHasher& h, const fault::FaultPlan& plan) {
+  h.tag(kTagFaultPlan);
+  h.u64(plan.windows().size());
+  for (const auto& window : plan.windows()) hash_append(h, window);
+}
+
+void hash_append(CanonicalHasher& h, const ResiliencePolicy& policy) {
+  h.tag(kTagPolicy);
+  h.boolean(policy.edge_fallback);
+  h.boolean(policy.store_and_forward);
+  h.f64(policy.buffer_bytes_per_client);
+  h.boolean(policy.load_shedding);
+  h.f64(policy.upload_bytes_per_client);
+  h.f64(policy.upload_energy_per_payload);
+  h.f64(policy.catchup_factor);
+}
+
+Hash128 canonical_hash(const FleetParams& params) {
+  CanonicalHasher h;
+  hash_append(h, params);
+  return h.digest();
+}
+
+}  // namespace beesim::core

@@ -6,6 +6,10 @@ std::vector<double> slot_occupancy_bounds() {
   return Histogram::linear_bounds(0.0, 40.0, 40);
 }
 
+std::vector<double> serve_batch_bounds() {
+  return Histogram::linear_bounds(0.0, 32.0, 32);
+}
+
 void register_catalog(Registry& reg) {
   namespace m = metric;
   for (const char* name :
@@ -32,7 +36,11 @@ void register_catalog(Registry& reg) {
         m::kFleetEdgeFallbackCycles, m::kOrchestratorDegradedPlans,
         m::kOrchestratorServicesShed, m::kBatteryChargeEvents,
         m::kBatteryDischargeEvents, m::kBatteryDepletions,
-        m::kBatteryDerateEvents, m::kMeterStateChanges})
+        m::kBatteryDerateEvents, m::kMeterStateChanges,
+        m::kServeRequestsSubmitted, m::kServeRequestsAdmitted,
+        m::kServeRequestsRejected, m::kServeRequestsCompleted,
+        m::kServePointsRequested, m::kServePointsComputed,
+        m::kServePointsCoalesced, m::kServeCacheHits, m::kServeCacheMisses})
     reg.counter(name);
   for (const char* name :
        {m::kEngineMaxQueueDepth, m::kEnginePoolSlots,
@@ -40,9 +48,10 @@ void register_catalog(Registry& reg) {
         m::kFleetSweepThreads, m::kDspMelBandNnz,
         m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
         m::kBatteryDischargeJoules, m::kBackoffWaitSeconds,
-        m::kFaultBufferPeakBytes})
+        m::kFaultBufferPeakBytes, m::kServeQueuePeakDepth})
     reg.gauge(name);
   reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
+  reg.histogram(metric::kServeBatchWidth, serve_batch_bounds());
 }
 
 }  // namespace beesim::obs

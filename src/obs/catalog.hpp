@@ -131,6 +131,27 @@ inline constexpr const char* kFaultBufferDroppedBytes =
 inline constexpr const char* kFaultBufferPeakBytes =
     "fault.buffer.peak_bytes";
 
+// serve::SimulationService — the multi-tenant serving layer
+// (docs/SERVING.md).
+inline constexpr const char* kServeRequestsSubmitted =
+    "serve.requests_submitted";
+inline constexpr const char* kServeRequestsAdmitted =
+    "serve.requests_admitted";
+inline constexpr const char* kServeRequestsRejected =
+    "serve.requests_rejected";
+inline constexpr const char* kServeRequestsCompleted =
+    "serve.requests_completed";
+inline constexpr const char* kServePointsRequested =
+    "serve.points_requested";
+inline constexpr const char* kServePointsComputed = "serve.points_computed";
+inline constexpr const char* kServePointsCoalesced =
+    "serve.points_coalesced";
+inline constexpr const char* kServeCacheHits = "serve.cache.hits";
+inline constexpr const char* kServeCacheMisses = "serve.cache.misses";
+inline constexpr const char* kServeBatchWidth = "serve.batch.width";
+inline constexpr const char* kServeQueuePeakDepth =
+    "serve.queue.peak_depth";
+
 // energy::Battery / energy::EnergyMeter.
 inline constexpr const char* kBatteryChargeEvents =
     "energy.battery.charge_events";
@@ -152,6 +173,10 @@ inline constexpr const char* kMeterStateChanges =
 /// Bucket layout of the slot-occupancy histogram: clients per active slot,
 /// 1..40 covers every max_parallel the paper sweeps (10 and 35).
 std::vector<double> slot_occupancy_bounds();
+
+/// Bucket layout of the serving batch-width histogram: requests per
+/// dispatched batch, 1..32 covers the default max_batch.
+std::vector<double> serve_batch_bounds();
 
 /// Registers every catalog instrument (at zero) so a run-report always
 /// contains the full metric set, including subsystems a given experiment

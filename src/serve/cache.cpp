@@ -1,0 +1,69 @@
+#include "serve/cache.hpp"
+
+namespace beesim::serve {
+
+PointCache::PointCache(std::size_t shards) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+bool PointCache::lookup_sweep(const PointKey& key,
+                              core::SweepPoint* out) const {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.sweep.find(key);
+    if (it != shard.sweep.end()) {
+      *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void PointCache::insert_sweep(const PointKey& key,
+                              const core::SweepPoint& point) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sweep.emplace(key, point);
+}
+
+bool PointCache::lookup_resilience(const PointKey& key,
+                                   core::ResiliencePoint* out) const {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.resilience.find(key);
+    if (it != shard.resilience.end()) {
+      *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void PointCache::insert_resilience(const PointKey& key,
+                                   const core::ResiliencePoint& point) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.resilience.emplace(key, point);
+}
+
+PointCache::Stats PointCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.entries += shard->sweep.size() + shard->resilience.size();
+  }
+  return stats;
+}
+
+}  // namespace beesim::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/network_sim.hpp"
+#include "core/resilience.hpp"
+
+namespace beesim::serve {
+
+/// Content address of one computed point: the scenario-group hash (see
+/// serve::scenario_group — canonical hash of FleetParams + scenario
+/// definition + cycles + seed) plus the fleet size. Because
+/// LargeScaleSimulator::sweep and ResilientFleet::sweep derive one RNG
+/// stream per (seed, fleet size), the point at a given key is the same
+/// no matter which sweep range, batch, thread count or tenant computed
+/// it — which is what makes a cache hit bit-identical to a cold compute.
+struct PointKey {
+  core::Hash128 group;
+  int client_count = 0;
+
+  friend bool operator==(const PointKey& a, const PointKey& b) noexcept {
+    return a.group == b.group && a.client_count == b.client_count;
+  }
+};
+
+/// Hash functor for PointKey (the group hash is already uniform; fold in
+/// the count with a multiplicative mix).
+struct PointKeyHash {
+  std::size_t operator()(const PointKey& k) const noexcept {
+    std::uint64_t x = k.group.lo ^ (k.group.hi * 0x9e3779b97f4a7c15ULL);
+    x ^= static_cast<std::uint64_t>(k.client_count) * 0xff51afd7ed558ccdULL;
+    return static_cast<std::size_t>(x ^ (x >> 33));
+  }
+};
+
+/// Sharded content-addressed store of computed SweepPoints and
+/// ResiliencePoints. Lookups and inserts take one shard mutex (sharded by
+/// key hash so concurrent workers rarely contend); values are returned by
+/// copy — both point types are small trivially-copyable aggregates.
+/// Entries are never evicted or mutated after insert, so a key observed
+/// once always returns the same bytes for the life of the service.
+class PointCache {
+ public:
+  explicit PointCache(std::size_t shards = 16);
+
+  /// Sweep-point lookup; counts a hit or miss. Returns true on hit and
+  /// copies the point into `out`.
+  bool lookup_sweep(const PointKey& key, core::SweepPoint* out) const;
+  /// Inserts a computed sweep point (first writer wins; duplicate inserts
+  /// of the same key carry identical bytes by the determinism contract).
+  void insert_sweep(const PointKey& key, const core::SweepPoint& point);
+
+  /// Resilience-point lookup; counts a hit or miss.
+  bool lookup_resilience(const PointKey& key,
+                         core::ResiliencePoint* out) const;
+  /// Inserts a computed resilience point (first writer wins).
+  void insert_resilience(const PointKey& key,
+                         const core::ResiliencePoint& point);
+
+  /// Point-in-time counters: lifetime hits/misses and resident entries.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+
+    double hit_ratio() const noexcept {
+      const auto total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<PointKey, core::SweepPoint, PointKeyHash> sweep;
+    std::unordered_map<PointKey, core::ResiliencePoint, PointKeyHash>
+        resilience;
+  };
+  Shard& shard_for(const PointKey& key) const noexcept {
+    return *shards_[PointKeyHash{}(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace beesim::serve

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace beesim::serve {
+
+/// Bounded lock-free multi-producer queue (Dmitry Vyukov's bounded MPMC
+/// ring). The serving layer uses it as the per-worker submission queue:
+/// any number of tenant threads `try_push` concurrently, one worker event
+/// loop `try_pop`s. Each cell carries a sequence number that encodes
+/// whether it is free, full, or in use by a lapped epoch, so producers
+/// claim cells with a single CAS and never block each other; a full ring
+/// fails the push immediately — that explicit failure is what the
+/// admission layer turns into a typed `kRejectedQueueFull` outcome
+/// instead of an unbounded backlog.
+///
+/// Capacity is rounded up to the next power of two (minimum 2) so index
+/// wrapping is a mask. `size_approx` is a racy snapshot intended only for
+/// the `serve.queue.peak_depth` gauge.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity < 2 ? 2 : capacity) - 1),
+        cells_(new Cell[mask_ + 1]) {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Multi-producer push; returns false when the ring is full.
+  bool try_push(T value) noexcept {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          {
+            cell.value = std::move(value);
+            cell.seq.store(pos + 1, std::memory_order_release);
+            return true;
+          }
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed older epoch
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer pop; returns false when the ring is empty. Safe for
+  /// multiple consumers too (same CAS protocol), though the serving
+  /// layer dedicates one consumer per ring.
+  bool try_pop(T& out) noexcept {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          {
+            out = std::move(cell.value);
+            cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+            return true;
+          }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Racy occupancy snapshot (metrics only — never used for control flow).
+  std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers claim here
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer drains here
+};
+
+}  // namespace beesim::serve

@@ -1,0 +1,326 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/catalog.hpp"
+
+namespace beesim::serve {
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& rejected;
+  obs::Counter& completed;
+  obs::Counter& points_requested;
+  obs::Counter& points_computed;
+  obs::Counter& points_coalesced;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Histogram& batch_width;
+  obs::Gauge& queue_peak_depth;
+};
+
+ServeMetrics& metrics() {
+  namespace m = obs::metric;
+  auto& reg = obs::registry();
+  static ServeMetrics instance{
+      reg.counter(m::kServeRequestsSubmitted),
+      reg.counter(m::kServeRequestsAdmitted),
+      reg.counter(m::kServeRequestsRejected),
+      reg.counter(m::kServeRequestsCompleted),
+      reg.counter(m::kServePointsRequested),
+      reg.counter(m::kServePointsComputed),
+      reg.counter(m::kServePointsCoalesced),
+      reg.counter(m::kServeCacheHits),
+      reg.counter(m::kServeCacheMisses),
+      reg.histogram(m::kServeBatchWidth, obs::serve_batch_bounds()),
+      reg.gauge(m::kServeQueuePeakDepth)};
+  return instance;
+}
+
+}  // namespace
+
+SimulationService::SimulationService() : SimulationService(Config()) {}
+
+SimulationService::SimulationService(Config config) : config_(config) {
+  if (config_.max_batch < 1) config_.max_batch = 1;
+  if (config_.max_in_flight < 1) config_.max_in_flight = 1;
+  // With workers = 0 (manual mode) one queue still exists so submit/drain
+  // have somewhere to meet.
+  const unsigned queues = std::max(1u, config_.workers);
+  workers_.reserve(queues);
+  for (unsigned i = 0; i < queues; ++i)
+    workers_.push_back(std::make_unique<Worker>(config_.queue_capacity));
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    Worker& w = *workers_[i];
+    w.thread = std::thread([this, &w] { worker_loop(w); });
+  }
+}
+
+SimulationService::~SimulationService() { shutdown(); }
+
+SimulationService::Ticket SimulationService::submit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics().submitted.inc();
+
+  auto reject = [this](Admission admission) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    metrics().rejected.inc();
+    Ticket ticket;
+    ticket.admission = admission;
+    return ticket;
+  };
+
+  if (stopping_.load(std::memory_order_acquire))
+    return reject(Admission::kRejectedShutdown);
+  if (!valid(request)) return reject(Admission::kRejectedInvalid);
+
+  // Reserve an in-flight slot before touching a queue: the reservation is
+  // released on push failure or on completion, so max_in_flight is a hard
+  // bound even with many producers racing.
+  if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
+      config_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return reject(Admission::kRejectedOverloaded);
+  }
+
+  const core::Hash128 group = scenario_group(request);
+  Worker& w = *workers_[group.lo % workers_.size()];
+
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->group = group;
+  std::future<Response> future = pending->promise.get_future();
+
+  if (!w.queue.try_push(pending.get())) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return reject(Admission::kRejectedQueueFull);
+  }
+  pending.release();  // owned by the queue (freed after fan-out)
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics().admitted.inc();
+  metrics().queue_peak_depth.update_max(
+      static_cast<double>(w.queue.size_approx()));
+  w.cv.notify_one();
+
+  Ticket ticket;
+  ticket.admission = Admission::kAdmitted;
+  ticket.response = std::move(future);
+  return ticket;
+}
+
+void SimulationService::worker_loop(Worker& worker) {
+  std::vector<Pending*> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    batch.clear();
+    Pending* pending = nullptr;
+    while (batch.size() < config_.max_batch && worker.queue.try_pop(pending))
+      batch.push_back(pending);
+    if (!batch.empty()) {
+      process_batch(batch);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    std::unique_lock<std::mutex> lock(worker.mutex);
+    // Timed wait: a producer's push and this wait can race (the ring is
+    // lock-free, the condvar is not tied to it), so never park forever.
+    worker.cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void SimulationService::drain_queue(Worker& worker) {
+  std::vector<Pending*> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    batch.clear();
+    Pending* pending = nullptr;
+    while (batch.size() < config_.max_batch && worker.queue.try_pop(pending))
+      batch.push_back(pending);
+    if (batch.empty()) return;
+    process_batch(batch);
+  }
+}
+
+void SimulationService::drain() {
+  for (auto& worker : workers_) drain_queue(*worker);
+}
+
+void SimulationService::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) worker->cv.notify_one();
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+  // Final inline sweep: covers manual mode (workers = 0) and the race
+  // where a submit won its push just as a worker observed stopping_ and
+  // exited. After this, every admitted request has completed.
+  drain();
+}
+
+SimulationService::Ledger SimulationService::ledger() const noexcept {
+  Ledger ledger;
+  ledger.submitted = submitted_.load(std::memory_order_relaxed);
+  ledger.admitted = admitted_.load(std::memory_order_relaxed);
+  ledger.rejected = rejected_.load(std::memory_order_relaxed);
+  ledger.completed = completed_.load(std::memory_order_relaxed);
+  return ledger;
+}
+
+void SimulationService::process_batch(std::vector<Pending*>& batch) {
+  metrics().batch_width.observe(static_cast<double>(batch.size()));
+
+  // Per-group compute plan: the exemplar request defines the scenario,
+  // `missing` collects the fleet sizes nobody (cache or this batch) has.
+  struct GroupWork {
+    const Request* exemplar = nullptr;
+    std::vector<int> missing;
+  };
+  std::map<core::Hash128, GroupWork> groups;
+
+  // Points resolved for this batch, by key; `from_cache` marks provenance.
+  std::unordered_map<PointKey, core::SweepPoint, PointKeyHash> sweep_local;
+  std::unordered_map<PointKey, core::ResiliencePoint, PointKeyHash>
+      resilience_local;
+  std::unordered_map<PointKey, bool, PointKeyHash> from_cache;
+  std::unordered_set<PointKey, PointKeyHash> scheduled;
+
+  std::uint64_t requested = 0, coalesced = 0, hits = 0, misses = 0;
+
+  // Pass 1 — resolve every key against the batch (coalescing) and the
+  // cache; whatever is left becomes per-group compute work.
+  for (const Pending* pending : batch) {
+    const bool is_resilience =
+        pending->request.kind == RequestKind::kResilience;
+    for (int count : pending->request.client_counts()) {
+      ++requested;
+      const PointKey key{pending->group, count};
+      const bool seen = is_resilience
+                            ? resilience_local.count(key) > 0
+                            : sweep_local.count(key) > 0;
+      if (seen || scheduled.count(key) > 0) {
+        ++coalesced;
+        continue;
+      }
+      if (config_.cache_enabled) {
+        if (is_resilience) {
+          core::ResiliencePoint point;
+          if (cache_.lookup_resilience(key, &point)) {
+            resilience_local.emplace(key, point);
+            from_cache[key] = true;
+            ++hits;
+            continue;
+          }
+        } else {
+          core::SweepPoint point;
+          if (cache_.lookup_sweep(key, &point)) {
+            sweep_local.emplace(key, point);
+            from_cache[key] = true;
+            ++hits;
+            continue;
+          }
+        }
+        ++misses;
+      }
+      scheduled.insert(key);
+      GroupWork& work = groups[pending->group];
+      if (work.exemplar == nullptr) work.exemplar = &pending->request;
+      work.missing.push_back(count);
+    }
+  }
+
+  // Pass 2 — one sweep() call per scenario group over its missing fleet
+  // sizes. Inner threads stay at 1: the workers are the parallelism, and
+  // per-(seed, size) RNG streams make the result independent of how the
+  // sizes are grouped.
+  std::uint64_t computed = 0;
+  for (auto& [group_hash, work] : groups) {
+    std::sort(work.missing.begin(), work.missing.end());
+    const Request& exemplar = *work.exemplar;
+    if (exemplar.kind == RequestKind::kResilience) {
+      const ResilienceRequest& r = exemplar.resilience;
+      const core::ResilientFleet fleet(r.params, r.plan, r.policy, r.service);
+      const auto points =
+          fleet.sweep(work.missing, r.seed, r.cycles_per_point, 1);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointKey key{group_hash, work.missing[i]};
+        resilience_local.emplace(key, points[i]);
+        if (config_.cache_enabled) cache_.insert_resilience(key, points[i]);
+      }
+    } else {
+      const bool is_sweep = exemplar.kind == RequestKind::kSweep;
+      const core::FleetParams& params =
+          is_sweep ? exemplar.sweep.params : exemplar.what_if.params;
+      const int cycles = is_sweep ? exemplar.sweep.cycles_per_point
+                                  : exemplar.what_if.cycles_per_point;
+      const std::uint64_t seed =
+          is_sweep ? exemplar.sweep.seed : exemplar.what_if.seed;
+      const core::LargeScaleSimulator sim(params);
+      const auto points = sim.sweep(work.missing, seed, cycles, 1);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointKey key{group_hash, work.missing[i]};
+        sweep_local.emplace(key, points[i]);
+        if (config_.cache_enabled) cache_.insert_sweep(key, points[i]);
+      }
+    }
+    computed += work.missing.size();
+  }
+
+  // Pass 3 — fan out: assemble each response in its request's order and
+  // fulfill the promise.
+  for (Pending* pending : batch) {
+    Response response;
+    response.kind = pending->request.kind;
+    const auto& counts = pending->request.client_counts();
+    response.points_total = static_cast<int>(counts.size());
+    for (int count : counts) {
+      const PointKey key{pending->group, count};
+      const auto cache_it = from_cache.find(key);
+      const bool cached = cache_it != from_cache.end() && cache_it->second;
+      if (cached) ++response.points_from_cache;
+      switch (pending->request.kind) {
+        case RequestKind::kSweep:
+          response.sweep_points.push_back({sweep_local.at(key), cached});
+          break;
+        case RequestKind::kWhatIf: {
+          const WhatIfRequest& r = pending->request.what_if;
+          const core::SweepPoint& point = sweep_local.at(key);
+          core::PlacementComparison comparison;
+          comparison.clients = count;
+          comparison.edge_only_per_client =
+              core::ClientSpec::smart_beehive(core::Placement::kEdgeOnly,
+                                              r.service,
+                                              r.params.client.period)
+                  .cycle_energy();
+          comparison.edge_cloud_per_client = point.total_per_client();
+          comparison.edge_cloud_wins = comparison.edge_cloud_per_client <
+                                       comparison.edge_only_per_client;
+          response.what_if.push_back({comparison, cached});
+          break;
+        }
+        case RequestKind::kResilience:
+          response.resilience_points.push_back(
+              {resilience_local.at(key), cached});
+          break;
+      }
+    }
+    pending->promise.set_value(std::move(response));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics().completed.inc();
+    delete pending;
+  }
+
+  metrics().points_requested.inc(requested);
+  metrics().points_computed.inc(computed);
+  metrics().points_coalesced.inc(coalesced);
+  metrics().cache_hits.inc(hits);
+  metrics().cache_misses.inc(misses);
+}
+
+}  // namespace beesim::serve
