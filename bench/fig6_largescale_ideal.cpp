@@ -5,12 +5,20 @@
 //
 // Usage: fig6_largescale_ideal [lo=10] [hi=400] [step=10] [parallel=10]
 //                              [service=cnn|svm] [threads=0] [csv=path]
+//                              [checkpoint=path] [resume=0|1]
+//                              [stop_after=N] [shard=I] [shards=S]
+//                              [merge=a,b,...]
+//
+// The checkpoint knobs (sweep_runner.hpp) make the sweep resumable and
+// shardable; scripts/check.sh proves a sharded-then-merged run writes a
+// CSV byte-identical to the straight run.
 
 #include <cstdio>
 #include <fstream>
 
 #include "bench_common.hpp"
 #include "core/network_sim.hpp"
+#include "sweep_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -31,6 +39,8 @@ int main(int argc, char** argv) {
   const auto threads =
       static_cast<unsigned>(args.config().get_int("threads", 0));
   const std::string csv_path = args.config().get_string("csv", "");
+  const bench::CheckpointArgs ck =
+      bench::CheckpointArgs::parse(args.config());
 
   bench::banner("Fig 6", "ideal large-scale client-server simulation");
 
@@ -42,6 +52,20 @@ int main(int argc, char** argv) {
               device::to_string(service), parallel,
               server.slots_per_cycle(), server.capacity());
 
+  const std::vector<int> counts = core::client_range(lo, hi, step);
+  bench::SweepOutcome outcome;
+  {
+    // Wall-clock of the whole sweep; with the fleet counters this yields
+    // hives/sec and cycles/sec in the --metrics-out report. The fleet is
+    // ideal (no dropout), so the sweep is deterministic and the seed is
+    // irrelevant; points run in parallel.
+    obs::ScopedTimer sweep_timer("bench.fig6.sweep");
+    outcome = bench::run_sweep(sim, counts, 0, 1, threads, ck);
+  }
+  // A deliberately partial run (stop_after / shard) has no table to
+  // print: the checkpoint holds the progress, the resumed run prints.
+  if (!bench::campaign_complete("Fig 6", outcome, counts.size())) return 0;
+
   util::AsciiTable table({"Clients", "Servers", "Edge J/client",
                           "Server J/client", "Total J/client"});
   std::ofstream csv_file;
@@ -51,16 +75,7 @@ int main(int argc, char** argv) {
     csv.header({"clients", "servers", "edge_per_client",
                 "server_per_client", "total_per_client"});
   }
-  std::vector<core::SweepPoint> points;
-  {
-    // Wall-clock of the whole sweep; with the fleet counters this yields
-    // hives/sec and cycles/sec in the --metrics-out report. The fleet is
-    // ideal (no dropout), so the sweep is deterministic and the seed is
-    // irrelevant; points run in parallel.
-    obs::ScopedTimer sweep_timer("bench.fig6.sweep");
-    points = sim.sweep(core::client_range(lo, hi, step), 0, 1, threads);
-  }
-  for (const auto& r : points) {
+  for (const auto& r : outcome.points) {
     table.add_row({std::to_string(r.initial_clients),
                    std::to_string(r.servers_used),
                    util::AsciiTable::num(r.edge_per_client(), 1),

@@ -9,7 +9,13 @@
 //
 // Usage: fig8_losses [lo=10] [hi=400] [step=10] [parallel=10] [seed=7]
 //                    [cycles_per_point=5] [policy=fill-first|balanced]
-//                    [threads=0] [csv=path]
+//                    [threads=0] [csv=path] [checkpoint=path]
+//                    [resume=0|1] [stop_after=N] [shard=I] [shards=S]
+//                    [merge=a,b,...]
+//
+// The four panels are four independent campaigns, so the checkpoint path
+// (and any merge paths) gets a per-panel suffix: checkpoint=/tmp/f8
+// writes /tmp/f8.8a ... /tmp/f8.8d (sweep_runner.hpp).
 
 #include <cstdio>
 #include <fstream>
@@ -17,6 +23,7 @@
 
 #include "bench_common.hpp"
 #include "core/network_sim.hpp"
+#include "sweep_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -38,19 +45,23 @@ core::FleetParams fleet_with(const LossConfig& loss, int parallel,
 void sweep_panel(const char* panel, const char* title,
                  const LossConfig& loss, int parallel, FillPolicy policy,
                  int lo, int hi, int step, std::uint64_t seed, int cycles,
-                 unsigned threads, util::CsvWriter* csv) {
+                 unsigned threads, util::CsvWriter* csv,
+                 const bench::CheckpointArgs& ck_base) {
   core::LargeScaleSimulator sim(fleet_with(loss, parallel, policy));
   std::printf("\n--- Fig %s: %s (policy: %s) ---\n\n", panel, title,
               core::to_string(policy));
+  const bench::CheckpointArgs ck =
+      ck_base.with_suffix(std::string(".") + panel);
+  const std::vector<int> counts = core::client_range(lo, hi, step);
   util::AsciiTable table({"Clients", "Lost", "Servers", "Edge J/client",
                           "Server J/client", "Total J/client"});
-  std::vector<core::SweepPoint> results;
+  bench::SweepOutcome outcome;
   {
     obs::ScopedTimer panel_timer(std::string("bench.fig8.panel_") + panel);
-    results =
-        sim.sweep(core::client_range(lo, hi, step), seed, cycles, threads);
+    outcome = bench::run_sweep(sim, counts, seed, cycles, threads, ck);
   }
-  for (const auto& r : results) {
+  if (!bench::campaign_complete(panel, outcome, counts.size())) return;
+  for (const auto& r : outcome.points) {
     table.add_row({std::to_string(r.initial_clients),
                    std::to_string(r.lost_clients_display()),
                    std::to_string(r.servers_used),
@@ -90,6 +101,8 @@ int main(int argc, char** argv) {
   const auto threads =
       static_cast<unsigned>(args.config().get_int("threads", 0));
   const std::string csv_path = args.config().get_string("csv", "");
+  const bench::CheckpointArgs ck =
+      bench::CheckpointArgs::parse(args.config());
 
   bench::banner("Fig 8", "large-scale simulation with losses");
 
@@ -105,15 +118,15 @@ int main(int argc, char** argv) {
 
   sweep_panel("8a", "slot-saturation penalty (loss A)",
               LossConfig::only_saturation(), parallel, policy, lo, hi, step,
-              seed, 1, threads, csv_ptr);
+              seed, 1, threads, csv_ptr, ck);
   sweep_panel("8b", "+1.5 s transfer per client (loss B)",
               LossConfig::only_transfer_stretch(), parallel, policy, lo, hi,
-              step, seed, 1, threads, csv_ptr);
+              step, seed, 1, threads, csv_ptr, ck);
   sweep_panel("8c", "Gaussian client dropout (loss C)",
               LossConfig::only_dropout(), parallel, policy, lo, hi, step,
-              seed, cycles, threads, csv_ptr);
+              seed, cycles, threads, csv_ptr, ck);
   sweep_panel("8d", "all losses combined", LossConfig::all(), parallel,
-              policy, lo, hi, step, seed, cycles, threads, csv_ptr);
+              policy, lo, hi, step, seed, cycles, threads, csv_ptr, ck);
 
   // Anchors.
   std::printf("\nFig 8 anchors (10 clients per slot, CNN service):\n");

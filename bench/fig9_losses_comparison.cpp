@@ -14,12 +14,18 @@
 //
 // Usage: fig9_losses_comparison [lo=100] [hi=2000] [step=100] [seed=11]
 //                               [parallel=35] [cycles_per_point=5]
-//                               [threads=0]
+//                               [threads=0] [checkpoint=path]
+//                               [resume=0|1] [stop_after=N] [shard=I]
+//                               [shards=S] [merge=a,b,...]
+//
+// The three variants are three independent campaigns; checkpoint/merge
+// paths get the suffixes .v1/.v2/.v3 (sweep_runner.hpp).
 
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/placement.hpp"
+#include "sweep_runner.hpp"
 #include "util/table.hpp"
 
 using namespace beesim;
@@ -31,7 +37,7 @@ namespace {
 
 void panel(const char* title, const LossConfig& loss, FillPolicy policy,
            int parallel, int lo, int hi, int step, std::uint64_t seed,
-           int cycles, unsigned threads) {
+           int cycles, unsigned threads, const bench::CheckpointArgs& ck) {
   core::FleetParams fleet =
       core::FleetParams::paper_default(core::ServiceModel::kCnn, parallel);
   fleet.loss = loss;
@@ -46,12 +52,14 @@ void panel(const char* title, const LossConfig& loss, FillPolicy policy,
                           "Edge+cloud J/client", "Winner"});
   const double sleep_cycle = fleet.client.sleep_cycle_energy();
   int winning_points = 0;
-  std::vector<core::SweepPoint> results;
+  const std::vector<int> counts = core::client_range(lo, hi, step);
+  bench::SweepOutcome outcome;
   {
     obs::ScopedTimer sweep_timer("bench.fig9.sweep");
-    results =
-        sim.sweep(core::client_range(lo, hi, step), seed, cycles, threads);
+    outcome = bench::run_sweep(sim, counts, seed, cycles, threads, ck);
   }
+  if (!bench::campaign_complete(title, outcome, counts.size())) return;
+  const std::vector<core::SweepPoint>& results = outcome.points;
   for (const auto& r : results) {
     // The edge-only fleet suffers the same dropout: lost hives sleep
     // through the cycle, so its per-initial-client cost drops too.
@@ -89,19 +97,23 @@ int main(int argc, char** argv) {
       static_cast<int>(args.config().get_int("cycles_per_point", 5));
   const auto threads =
       static_cast<unsigned>(args.config().get_int("threads", 0));
+  const bench::CheckpointArgs ck =
+      bench::CheckpointArgs::parse(args.config());
 
   bench::banner("Fig 9", "scenario comparison with losses, 35 per slot");
 
   LossConfig saturation = LossConfig::only_saturation();
   panel("Fig 9 variant 1: saturation loss, paper's allocator", saturation,
-        FillPolicy::kFillFirst, parallel, lo, hi, step, seed, 1, threads);
+        FillPolicy::kFillFirst, parallel, lo, hi, step, seed, 1, threads,
+        ck.with_suffix(".v1"));
   panel("Fig 9 variant 2: saturation loss, balanced allocator", saturation,
-        FillPolicy::kBalanced, parallel, lo, hi, step, seed, 1, threads);
+        FillPolicy::kBalanced, parallel, lo, hi, step, seed, 1, threads,
+        ck.with_suffix(".v2"));
   LossConfig all = LossConfig::all();
   all.transfer_stretch = false;  // see header note / EXPERIMENTS.md
   panel("Fig 9 variant 3: saturation + dropout (averaged cycles)", all,
         FillPolicy::kBalanced, parallel, lo, hi, step, seed, cycles,
-        threads);
+        threads, ck.with_suffix(".v3"));
 
   // Paper's sizing example: 3 servers for 1600-1750 clients.
   core::FleetParams fleet =

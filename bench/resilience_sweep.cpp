@@ -14,7 +14,14 @@
 //                         [seed=7] [cycles=50] [rates=0,0.05,0.1,0.2]
 //                         [mean_duration=3] [kind=cloud|link|battery|
 //                          sensor|brownout|degraded|mix] [severity=0.5]
-//                         [threads=0] [csv=path]
+//                         [threads=0] [csv=path] [checkpoint=path]
+//                         [resume=0|1] [stop_after=N] [shard=I]
+//                         [shards=S] [merge=a,b,...]
+//
+// Each outage rate is its own campaign, so checkpoint/merge paths get a
+// per-rate index suffix: checkpoint=/tmp/res writes /tmp/res.r0,
+// /tmp/res.r1, ... in `rates` order (sweep_runner.hpp). stop_after
+// counts whole points here — resilience checkpoints are point-granular.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +32,7 @@
 
 #include "bench_common.hpp"
 #include "core/resilience.hpp"
+#include "sweep_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -124,6 +132,8 @@ int main(int argc, char** argv) {
   const std::string csv_path = args.config().get_string("csv", "");
   const std::vector<double> rates =
       parse_rates(args.config().get_string("rates", "0,0.05,0.1,0.2"));
+  const bench::CheckpointArgs ck =
+      bench::CheckpointArgs::parse(args.config());
 
   bench::banner("Resilience", "outage rate x fleet size under fault "
                               "injection");
@@ -166,11 +176,22 @@ int main(int argc, char** argv) {
   std::printf("\nfault kind: %s | plan horizon: %d cycles | mean window: "
               "%d cycles\n", kind.c_str(), cycles, mean_duration);
 
-  for (const double rate : rates) {
+  for (std::size_t rate_index = 0; rate_index < rates.size();
+       ++rate_index) {
+    const double rate = rates[rate_index];
     const fault::FaultPlan plan =
         plan_for(kind, seed, cycles, rate, mean_duration, severity);
     const core::ResilientFleet resilient(fleet, plan);
-    const auto points = resilient.sweep(range, seed, cycles, threads);
+    const bench::ResilienceOutcome outcome = bench::run_resilience_sweep(
+        resilient, range, seed, cycles, threads,
+        ck.with_suffix(".r" + std::to_string(rate_index)));
+    if (!outcome.complete) {
+      std::printf("\nrate %.2f campaign incomplete (%zu/%zu points done) "
+                  "— resume with resume=1 checkpoint=<path> to finish\n",
+                  rate, outcome.points_done, range.size());
+      continue;
+    }
+    const std::vector<core::ResiliencePoint>& points = outcome.points;
 
     std::printf("\n--- outage rate %.2f (%d windows, %d faulted cycles) "
                 "---\n\n", rate,

@@ -11,6 +11,13 @@
 // Usage: scale_fleet [lo=1000] [hi=1000000] [points=10] [cycles=30]
 //                    [threads=0] [seed=42] [parallel=10]
 //                    [policy=fill-first|balanced] [csv=path]
+//                    [checkpoint=path] [resume=0|1] [stop_after=N]
+//                    [shard=I] [shards=S] [merge=a,b,...]
+//
+// The checkpoint knobs (sweep_runner.hpp) are the beyond-RAM story: a
+// multi-day sweep can be stopped after N cycles per point (stop_after),
+// sharded across processes (shard/shards + merge), and resumed —
+// scripts/check.sh proves the resumed CSV byte-matches a straight run.
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "core/network_sim.hpp"
+#include "sweep_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -72,6 +80,8 @@ int main(int argc, char** argv) {
           ? core::FillPolicy::kBalanced
           : core::FillPolicy::kFillFirst;
   const std::string csv_path = args.config().get_string("csv", "");
+  const bench::CheckpointArgs ck =
+      bench::CheckpointArgs::parse(args.config());
   if (lo < 1 || hi < lo || points < 1 || cycles < 1) {
     std::fprintf(stderr, "error: need 1 <= lo <= hi, points >= 1, "
                          "cycles >= 1\n");
@@ -105,13 +115,15 @@ int main(int argc, char** argv) {
               "(policy: %s, threads=%u)\n\n",
               ladder.size(), cycles, core::to_string(policy), threads);
 
-  std::vector<core::SweepPoint> results;
+  bench::SweepOutcome outcome;
   const auto start = Clock::now();
   {
     obs::ScopedTimer sweep_timer("bench.scale_fleet.sweep");
-    results = sim.sweep(ladder, seed, cycles, threads);
+    outcome = bench::run_sweep(sim, ladder, seed, cycles, threads, ck);
   }
   const double elapsed = seconds_since(start);
+  if (!bench::campaign_complete("Scale", outcome, ladder.size())) return 0;
+  const std::vector<core::SweepPoint>& results = outcome.points;
 
   util::AsciiTable table({"Hives", "Servers", "Lost", "Total J/client",
                           "ci95"});

@@ -17,14 +17,21 @@
 # 5. Serving smoke: a small multi-tenant serving_load run must balance
 #    its admission ledger, pass its bit-identity parity self-check, and
 #    hit the cache on an overlapping workload.
-# 6. Docs link-check:
+# 6. Checkpoint resume parity: a fig6 campaign sharded across two
+#    processes and merged must write a CSV byte-identical to the
+#    committed scripts/anchors/fig6.csv (same bytes as the straight
+#    run), and a scale_fleet campaign killed mid-point (stop_after) and
+#    resumed must match its uninterrupted run (docs/CHECKPOINT.md).
+# 7. Docs link-check:
 #    a. every local markdown link in README.md, DESIGN.md,
 #       EXPERIMENTS.md and docs/*.md resolves to an existing file;
 #    b. every top-level directory under src/ is mentioned in
 #       docs/ARCHITECTURE.md (the paper↔code map must stay complete);
-#    c. every public class/struct in src/fault and src/serve headers
-#       carries a /// doc comment (the resilience and serving stories
-#       must stay documented).
+#    c. every public class/struct in the src/fault and src/serve headers
+#       and the checkpoint-layer headers (core/fleet_columns.hpp,
+#       core/checkpoint.hpp, util/mmap.hpp) carries a /// doc comment
+#       (the resilience, serving and resumability stories must stay
+#       documented).
 #
 # Opt-in steps:
 #   --bench     run des_microbench + scale_fleet + kernels_microbench
@@ -32,7 +39,7 @@
 #               repo root (perf trajectory across PRs).
 #   --sanitize  configure a second build tree (<build-dir>-san) with
 #               -DBEESIM_SANITIZE=address,undefined and run the
-#               sim/fault/net test binaries under ASan+UBSan.
+#               sim/fault/net/checkpoint test binaries under ASan+UBSan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -149,6 +156,47 @@ check_anchor "fig2 threads=1" "$repo/scripts/anchors/fig2.txt" \
 check_anchor "fig2 threads=4" "$repo/scripts/anchors/fig2.txt" \
   "$tmp/fig2_t4.txt"
 
+echo
+echo "== checkpoints: sharded + interrupted campaigns match straight runs =="
+# fig6 (one cycle per point): split the campaign across two processes,
+# then merge the shard checkpoints back into the final CSV. Every byte
+# must match a straight single-process run.
+"$repo/$build/bench/fig6_largescale_ideal" hi=100 \
+  csv="$tmp/f6_straight.csv" > /dev/null
+"$repo/$build/bench/fig6_largescale_ideal" hi=100 \
+  shards=2 shard=0 checkpoint="$tmp/f6.s0.ck" > /dev/null
+"$repo/$build/bench/fig6_largescale_ideal" hi=100 \
+  shards=2 shard=1 checkpoint="$tmp/f6.s1.ck" > /dev/null
+"$repo/$build/bench/fig6_largescale_ideal" hi=100 \
+  merge="$tmp/f6.s0.ck,$tmp/f6.s1.ck" csv="$tmp/f6_merged.csv" > /dev/null
+check_anchor "fig6 straight csv" "$repo/scripts/anchors/fig6.csv" \
+  "$tmp/f6_straight.csv"
+check_anchor "fig6 sharded+merged csv" "$repo/scripts/anchors/fig6.csv" \
+  "$tmp/f6_merged.csv"
+# scale_fleet (three cycles per point): kill the campaign mid-point via
+# stop_after (a per-point cycle budget, so =2 leaves every point two
+# thirds done), then resume from the checkpoint in a fresh process. The
+# RNG cursor and Welford accumulators must land bit-for-bit where the
+# uninterrupted run does.
+sf_args="lo=500 hi=20000 points=4 cycles=3 threads=2 seed=11"
+# shellcheck disable=SC2086  # word splitting of sf_args is intended
+"$repo/$build/bench/scale_fleet" $sf_args \
+  csv="$tmp/sf_straight.csv" > /dev/null
+# shellcheck disable=SC2086
+"$repo/$build/bench/scale_fleet" $sf_args \
+  stop_after=2 checkpoint="$tmp/sf.ck" > /dev/null
+# shellcheck disable=SC2086
+"$repo/$build/bench/scale_fleet" $sf_args \
+  resume=1 checkpoint="$tmp/sf.ck" csv="$tmp/sf_resumed.csv" > /dev/null
+if cmp -s "$tmp/sf_straight.csv" "$tmp/sf_resumed.csv"; then
+  echo "  ok  scale_fleet killed-and-resumed CSV bit-identical to the" \
+       "uninterrupted run"
+else
+  echo "  MISMATCH  resumed scale_fleet campaign diverged"
+  diff "$tmp/sf_straight.csv" "$tmp/sf_resumed.csv" | head -10 || true
+  fail=1
+fi
+
 if [ "$run_bench" -eq 1 ]; then
   echo
   echo "== bench (--bench): headline numbers -> BENCH_des.json =="
@@ -162,12 +210,25 @@ if [ "$run_bench" -eq 1 ]; then
   "$repo/$build/bench/kernels_microbench" \
     --benchmark_format=json --benchmark_min_time=0.1 \
     > "$tmp/kernels.json" 2> /dev/null
+  "$repo/$build/bench/checkpoint_bench" dir="$tmp" > "$tmp/ckpt.txt"
+  ckpt_speedup="$(sed -n 's/.*speedup: \([0-9.]*\)x.*/\1/p' "$tmp/ckpt.txt")"
+  ckpt_save_ms="$(sed -n 's/.*save: *\([0-9.]*\) ms.*/\1/p' "$tmp/ckpt.txt")"
+  ckpt_restore_ms="$(sed -n \
+    's/.*restore: *\([0-9.]*\) ms.*/\1/p' "$tmp/ckpt.txt")"
+  echo "  checkpoint: soa ${ckpt_speedup}x," \
+       "farm save ${ckpt_save_ms} ms / restore ${ckpt_restore_ms} ms"
   jq -n \
     --slurpfile des "$tmp/des.json" \
     --slurpfile kern "$tmp/kernels.json" \
     --arg hps "$hives_per_sec" \
+    --arg cks "$ckpt_speedup" \
+    --arg cksave "$ckpt_save_ms" \
+    --arg ckrestore "$ckpt_restore_ms" \
     '{des: $des[0],
       scale_fleet_hives_per_sec: ($hps | tonumber),
+      checkpoint: {soa_speedup: ($cks | tonumber),
+                   farm_save_ms: ($cksave | tonumber),
+                   farm_restore_ms: ($ckrestore | tonumber)},
       kernels: [$kern[0].benchmarks[]
                 | {name, real_time, time_unit}]}' \
     > "$repo/BENCH_des.json"
@@ -181,8 +242,8 @@ if [ "$run_sanitize" -eq 1 ]; then
   cmake -B "$repo/$build-san" -S "$repo" \
     -DBEESIM_SANITIZE=address,undefined > /dev/null
   cmake --build "$repo/$build-san" -j \
-    --target test_sim test_fault test_net > /dev/null
-  for t in test_sim test_fault test_net; do
+    --target test_sim test_fault test_net test_checkpoint > /dev/null
+  for t in test_sim test_fault test_net test_checkpoint; do
     if "$repo/$build-san/tests/$t" --gtest_brief=1 > "$tmp/$t.san.log" 2>&1
     then
       echo "  ok  $t clean under address,undefined"
@@ -220,8 +281,11 @@ else
 fi
 
 echo
-echo "== docs: src/fault + src/serve public types carry /// doc comments =="
-for hdr in "$repo"/src/fault/*.hpp "$repo"/src/serve/*.hpp; do
+echo "== docs: fault/serve/checkpoint public types carry /// doc comments =="
+for hdr in "$repo"/src/fault/*.hpp "$repo"/src/serve/*.hpp \
+           "$repo"/src/core/fleet_columns.hpp \
+           "$repo"/src/core/checkpoint.hpp \
+           "$repo"/src/util/mmap.hpp; do
   # Every class/struct declared at column 0 must be directly preceded by
   # a Doxygen-style /// line (possibly via other /// lines above it; a
   # template<...> header line between the two is allowed).

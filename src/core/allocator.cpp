@@ -94,7 +94,7 @@ void record_allocation(const Allocation& alloc, int clients) {
       if (k > 0) occupancy.observe(static_cast<double>(k));
 }
 
-void record_allocation(const CompactAllocation& alloc, int clients) {
+void record_allocation(const CompactLayout& layout, int clients) {
   if (!obs::enabled()) return;
   static auto& calls = obs::registry().counter(obs::metric::kAllocatorCalls);
   static auto& fast_path =
@@ -106,12 +106,12 @@ void record_allocation(const CompactAllocation& alloc, int clients) {
   calls.inc();
   fast_path.inc();
   placed.inc(static_cast<std::uint64_t>(clients));
-  for (const auto& cls : alloc.classes)
-    for (const auto& band : cls.bands)
-      if (band.clients_per_slot > 0)
-        occupancy.observe(static_cast<double>(band.clients_per_slot),
-                          static_cast<std::uint64_t>(band.slots) *
-                              static_cast<std::uint64_t>(cls.servers));
+  for (int c = 0; c < layout.class_count; ++c)
+    for (int b = 0; b < layout.band_count[c]; ++b)
+      if (layout.band_clients[c][b] > 0)
+        occupancy.observe(static_cast<double>(layout.band_clients[c][b]),
+                          static_cast<std::uint64_t>(layout.band_slots[c][b]) *
+                              static_cast<std::uint64_t>(layout.servers[c]));
 }
 
 }  // namespace
@@ -190,26 +190,37 @@ Allocation CompactAllocation::expand() const {
 
 namespace {
 
-CompactAllocation compact_fill_first(int clients, const ServerSpec& spec) {
-  CompactAllocation alloc;
+/// Appends one class as flat columns; bands with zero width are skipped
+/// so the layout matches the vector builders' pushed bands exactly.
+void push_class(CompactLayout& out, std::int64_t servers,
+                std::initializer_list<CompactAllocation::Band> bands) {
+  const int c = out.class_count++;
+  out.servers[c] = servers;
+  int b = 0;
+  for (const auto& band : bands) {
+    if (band.slots <= 0) continue;
+    out.band_clients[c][b] = band.clients_per_slot;
+    out.band_slots[c][b] = band.slots;
+    ++b;
+  }
+  out.band_count[c] = b;
+}
+
+void compact_fill_first(int clients, const ServerSpec& spec,
+                        CompactLayout& out) {
   const int slots = spec.slots_per_cycle();
   const int m = spec.max_parallel;
   const int capacity = slots * m;
   const int full_servers = clients / capacity;
   const int remainder = clients % capacity;
-  if (full_servers > 0)
-    alloc.classes.push_back({full_servers, {{m, slots}}});
-  if (remainder > 0) {
-    CompactAllocation::ServerClass last{1, {}};
-    if (remainder / m > 0) last.bands.push_back({m, remainder / m});
-    if (remainder % m > 0) last.bands.push_back({remainder % m, 1});
-    alloc.classes.push_back(std::move(last));
-  }
-  return alloc;
+  if (full_servers > 0) push_class(out, full_servers, {{m, slots}});
+  if (remainder > 0)
+    push_class(out, 1, {{m, remainder / m},
+                        {remainder % m, remainder % m > 0 ? 1 : 0}});
 }
 
-CompactAllocation compact_spread(int clients, const ServerSpec& spec) {
-  CompactAllocation alloc;
+void compact_spread(int clients, const ServerSpec& spec,
+                    CompactLayout& out) {
   const int slots = spec.slots_per_cycle();
   const int capacity = slots * spec.max_parallel;
   const int servers = (clients + capacity - 1) / capacity;
@@ -226,36 +237,81 @@ CompactAllocation compact_spread(int clients, const ServerSpec& spec) {
   // no-empty-server allocator invariant, fuzz-tested).
   const auto extra_full = static_cast<int>(extra / slots);
   const auto extra_rem = static_cast<int>(extra % slots);
-  if (extra_full > 0)
-    alloc.classes.push_back({extra_full, {{base + 1, slots}}});
+  if (extra_full > 0) push_class(out, extra_full, {{base + 1, slots}});
   if (extra_rem > 0)
-    alloc.classes.push_back(
-        {1, {{base + 1, extra_rem}, {base, slots - extra_rem}}});
+    push_class(out, 1, {{base + 1, extra_rem}, {base, slots - extra_rem}});
   const int rest = servers - extra_full - (extra_rem > 0 ? 1 : 0);
-  if (rest > 0) alloc.classes.push_back({rest, {{base, slots}}});
-  return alloc;
+  if (rest > 0) push_class(out, rest, {{base, slots}});
 }
 
 }  // namespace
 
-CompactAllocation allocate_compact(int clients, const ServerSpec& spec,
-                                   FillPolicy policy) {
-  if (clients < 0) throw std::invalid_argument("allocate: negative clients");
-  if (clients == 0) return {};
+std::int64_t CompactLayout::servers_used() const noexcept {
+  std::int64_t total = 0;
+  for (int c = 0; c < class_count; ++c) total += servers[c];
+  return total;
+}
+
+std::int64_t CompactLayout::total_clients() const noexcept {
+  std::int64_t total = 0;
+  for (int c = 0; c < class_count; ++c) {
+    std::int64_t per_server = 0;
+    for (int b = 0; b < band_count[c]; ++b)
+      per_server += static_cast<std::int64_t>(band_clients[c][b]) *
+                    static_cast<std::int64_t>(band_slots[c][b]);
+    total += servers[c] * per_server;
+  }
+  return total;
+}
+
+std::int64_t CompactLayout::active_slots() const noexcept {
+  std::int64_t total = 0;
+  for (int c = 0; c < class_count; ++c) {
+    std::int64_t active = 0;
+    for (int b = 0; b < band_count[c]; ++b)
+      if (band_clients[c][b] > 0) active += band_slots[c][b];
+    total += servers[c] * active;
+  }
+  return total;
+}
+
+CompactAllocation CompactLayout::to_compact() const {
   CompactAllocation alloc;
+  alloc.classes.reserve(static_cast<std::size_t>(class_count));
+  for (int c = 0; c < class_count; ++c) {
+    CompactAllocation::ServerClass cls;
+    cls.servers = servers[c];
+    for (int b = 0; b < band_count[c]; ++b)
+      cls.bands.push_back({band_clients[c][b], band_slots[c][b]});
+    alloc.classes.push_back(std::move(cls));
+  }
+  return alloc;
+}
+
+void allocate_compact_into(int clients, const ServerSpec& spec,
+                           FillPolicy policy, CompactLayout& out) {
+  out = CompactLayout{};
+  if (clients < 0) throw std::invalid_argument("allocate: negative clients");
+  if (clients == 0) return;
   switch (policy) {
     case FillPolicy::kFillFirst:
-      alloc = compact_fill_first(clients, spec);
+      compact_fill_first(clients, spec, out);
       break;
     case FillPolicy::kBalanced:
     case FillPolicy::kRoundRobin:
-      alloc = compact_spread(clients, spec);
+      compact_spread(clients, spec, out);
       break;
     default:
       throw std::invalid_argument("allocate: unknown policy");
   }
-  record_allocation(alloc, clients);
-  return alloc;
+  record_allocation(out, clients);
+}
+
+CompactAllocation allocate_compact(int clients, const ServerSpec& spec,
+                                   FillPolicy policy) {
+  CompactLayout layout;
+  allocate_compact_into(clients, spec, policy, layout);
+  return layout.to_compact();
 }
 
 }  // namespace beesim::core

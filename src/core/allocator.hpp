@@ -93,4 +93,44 @@ struct CompactAllocation {
 CompactAllocation allocate_compact(int clients, const ServerSpec& spec,
                                    FillPolicy policy);
 
+/// Flat, fixed-capacity, trivially-copyable form of CompactAllocation —
+/// the columnar occupancy histogram of the fleet hot loop. Each field
+/// lives in its own small array (servers per class, bands per class, band
+/// occupancy, band width), so building one touches no heap and reading
+/// one is a branch-light linear pass: LargeScaleSimulator::simulate_cycle
+/// fills a stack-resident layout every cycle instead of materializing the
+/// vector-of-vectors CompactAllocation. All three built-in policies
+/// produce at most 3 classes of at most 2 bands (proved by the
+/// construction in allocator.cpp; equivalence fuzz-tested against
+/// allocate()).
+struct CompactLayout {
+  static constexpr int kMaxClasses = 3;
+  static constexpr int kMaxBands = 2;
+
+  int class_count = 0;
+  /// Replica count of each server class.
+  std::int64_t servers[kMaxClasses] = {0, 0, 0};
+  /// Bands per class (<= kMaxBands).
+  int band_count[kMaxClasses] = {0, 0, 0};
+  /// Clients in each slot of band b of class c.
+  int band_clients[kMaxClasses][kMaxBands] = {};
+  /// Consecutive slots band b of class c spans.
+  int band_slots[kMaxClasses][kMaxBands] = {};
+
+  std::int64_t servers_used() const noexcept;
+  std::int64_t total_clients() const noexcept;
+  std::int64_t active_slots() const noexcept;
+
+  /// Materializes the vector form (identical to what allocate_compact
+  /// returns for the same inputs — the flat path is the single source of
+  /// truth for both).
+  CompactAllocation to_compact() const;
+};
+
+/// Allocation-free core of allocate_compact: fills `out` in place.
+/// Same invariants, same layouts, zero heap traffic — the per-cycle fast
+/// path of the columnar fleet state (docs/CHECKPOINT.md).
+void allocate_compact_into(int clients, const ServerSpec& spec,
+                           FillPolicy policy, CompactLayout& out);
+
 }  // namespace beesim::core

@@ -106,14 +106,15 @@ util::Joules LargeScaleSimulator::server_energy(
   return server_.idle_power * (server_.cycle - active_time) + active_energy;
 }
 
-util::Joules LargeScaleSimulator::server_energy(
-    const CompactAllocation::ServerClass& cls, std::int64_t replicas) const {
+util::Joules LargeScaleSimulator::server_energy(const CompactLayout& layout,
+                                                int cls) const {
   util::Seconds active_time = 0.0;
   util::Joules active_energy = 0.0;
-  for (const auto& band : cls.bands) {
-    const int k = band.clients_per_slot;
-    if (k <= 0 || band.slots <= 0) continue;
-    const auto slots = static_cast<double>(band.slots);
+  for (int b = 0; b < layout.band_count[cls]; ++b) {
+    const int k = layout.band_clients[cls][b];
+    const int band_slots = layout.band_slots[cls][b];
+    if (k <= 0 || band_slots <= 0) continue;
+    const auto slots = static_cast<double>(band_slots);
     active_time += slots * server_.slot_duration(k);
     active_energy += slots * (server_.slot_active_energy(k) *
                               params_.loss.saturation_factor(
@@ -121,8 +122,8 @@ util::Joules LargeScaleSimulator::server_energy(
     if (obs::enabled() && params_.loss.saturates(k, server_.max_parallel)) {
       static auto& saturated =
           obs::registry().counter(obs::metric::kLossSaturatedSlots);
-      saturated.inc(static_cast<std::uint64_t>(band.slots) *
-                    static_cast<std::uint64_t>(replicas));
+      saturated.inc(static_cast<std::uint64_t>(band_slots) *
+                    static_cast<std::uint64_t>(layout.servers[cls]));
     }
   }
   if (active_time > server_.cycle)
@@ -146,13 +147,16 @@ CycleResult LargeScaleSimulator::simulate_cycle(int clients,
           params_.client.sleep_cycle_energy();
 
   if (params_.compact_allocation) {
-    const CompactAllocation alloc =
-        allocate_compact(surviving, server_, params_.policy);
-    result.servers_used = static_cast<int>(alloc.servers_used());
-    result.active_slots = static_cast<int>(alloc.active_slots());
-    for (const auto& cls : alloc.classes)
-      result.cloud_energy += static_cast<double>(cls.servers) *
-                             server_energy(cls, cls.servers);
+    // Stack-resident columnar layout: the whole per-cycle allocation is a
+    // few fixed arrays, no heap traffic (the SoA fast path that
+    // bench/checkpoint_bench measures against the old vector form).
+    CompactLayout layout;
+    allocate_compact_into(surviving, server_, params_.policy, layout);
+    result.servers_used = static_cast<int>(layout.servers_used());
+    result.active_slots = static_cast<int>(layout.active_slots());
+    for (int c = 0; c < layout.class_count; ++c)
+      result.cloud_energy +=
+          static_cast<double>(layout.servers[c]) * server_energy(layout, c);
   } else {
     const Allocation alloc = allocate(surviving, server_, params_.policy);
     result.servers_used = alloc.servers_used();

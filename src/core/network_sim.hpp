@@ -13,6 +13,8 @@
 
 namespace beesim::core {
 
+struct FleetColumns;
+
 /// Everything that defines one large-scale deployment: the client type,
 /// the server type, the allocator policy, and which losses apply.
 struct FleetParams {
@@ -107,16 +109,34 @@ class LargeScaleSimulator {
                                 std::uint64_t seed, int cycles_per_point = 1,
                                 unsigned threads = 0) const;
 
+  /// Resumable, columnar form of sweep(): runs up to `max_cycles` further
+  /// cycles on every incomplete point of `columns` (0 = run each point to
+  /// completion), updating the per-point statistic and RNG-cursor columns
+  /// in place. Because the columns carry the exact accumulator
+  /// representation and the generator state, any interleaving of advance
+  /// calls — including stopping mid-point, checkpointing to disk, and
+  /// resuming in another process — lands on results bit-identical to one
+  /// uninterrupted sweep() (contract tested in tests/test_checkpoint.cpp
+  /// and enforced on fig6 CSVs by scripts/check.sh). With `shard_count`
+  /// > 1 only points whose index is congruent to `shard_index` advance —
+  /// the fan-out used to split one campaign across processes, each
+  /// checkpointing its own shard file for a later merge. Returns whether
+  /// the whole campaign (all shards) is now complete.
+  bool advance(FleetColumns& columns, int max_cycles = 0,
+               unsigned threads = 0, int shard_index = 0,
+               int shard_count = 1) const;
+
   /// The server spec with loss model B folded in (stretched slots).
   const ServerSpec& effective_server() const noexcept { return server_; }
   const FleetParams& params() const noexcept { return params_; }
 
  private:
   util::Joules server_energy(const Allocation::ServerLoad& load) const;
-  /// Per-server energy of one compact server class; `replicas` is the
-  /// class multiplicity, used only for exact metric accounting.
-  util::Joules server_energy(const CompactAllocation::ServerClass& cls,
-                             std::int64_t replicas) const;
+  /// Per-server energy of class `cls` of a flat columnar layout; the
+  /// class multiplicity is read from the layout for exact metric
+  /// accounting. Arithmetic is band-for-band identical to the vector
+  /// path (equivalence-tested).
+  util::Joules server_energy(const CompactLayout& layout, int cls) const;
 
   FleetParams params_;
   ServerSpec server_;  // params_.server with transfer stretch applied

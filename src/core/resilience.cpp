@@ -36,7 +36,8 @@ double ResiliencePoint::cloud_per_client() const noexcept {
 
 ResilientFleet::ResilientFleet(FleetParams params, fault::FaultPlan plan,
                                ResiliencePolicy policy, ServiceModel service)
-    : base_(std::move(params)), injector_(plan), policy_(policy) {
+    : base_(std::move(params)), plan_(std::move(plan)), injector_(plan_),
+      policy_(policy) {
   if (policy_.buffer_bytes_per_client < 0.0)
     throw std::invalid_argument("ResilientFleet: negative buffer bound");
   if (policy_.upload_bytes_per_client <= 0.0)

@@ -40,7 +40,10 @@ void register_catalog(Registry& reg) {
         m::kServeRequestsSubmitted, m::kServeRequestsAdmitted,
         m::kServeRequestsRejected, m::kServeRequestsCompleted,
         m::kServePointsRequested, m::kServePointsComputed,
-        m::kServePointsCoalesced, m::kServeCacheHits, m::kServeCacheMisses})
+        m::kServePointsCoalesced, m::kServeCacheHits, m::kServeCacheMisses,
+        m::kServeCacheEvictions, m::kCkptSaves, m::kCkptRestores,
+        m::kCkptMerges, m::kCkptBytesWritten, m::kCkptBytesRead,
+        m::kCkptRejected})
     reg.counter(name);
   for (const char* name :
        {m::kEngineMaxQueueDepth, m::kEnginePoolSlots,
@@ -52,6 +55,8 @@ void register_catalog(Registry& reg) {
     reg.gauge(name);
   reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
   reg.histogram(metric::kServeBatchWidth, serve_batch_bounds());
+  // Timers (core.ckpt.save_time/restore_time, bench.*) register on first
+  // use — a report only carries the timers that actually ran.
 }
 
 }  // namespace beesim::obs

@@ -76,6 +76,19 @@ inline constexpr const char* kFleetShedClients =
 inline constexpr const char* kFleetEdgeFallbackCycles =
     "core.fleet.edge_fallback_cycles";
 
+// core::Checkpoint — mmap snapshot/restore of columnar campaign state
+// (docs/CHECKPOINT.md).
+inline constexpr const char* kCkptSaves = "core.ckpt.saves";
+inline constexpr const char* kCkptRestores = "core.ckpt.restores";
+inline constexpr const char* kCkptMerges = "core.ckpt.merges";
+inline constexpr const char* kCkptBytesWritten = "core.ckpt.bytes_written";
+inline constexpr const char* kCkptBytesRead = "core.ckpt.bytes_read";
+inline constexpr const char* kCkptRejected = "core.ckpt.rejected";
+// Timers (seconds; count/total/min/max): one observation per save or
+// per validated load.
+inline constexpr const char* kCkptSaveTime = "core.ckpt.save_time";
+inline constexpr const char* kCkptRestoreTime = "core.ckpt.restore_time";
+
 // core::LossConfig — the Section VI loss models.
 inline constexpr const char* kLossSaturatedSlots =
     "core.loss.saturated_slots";
@@ -148,6 +161,8 @@ inline constexpr const char* kServePointsCoalesced =
     "serve.points_coalesced";
 inline constexpr const char* kServeCacheHits = "serve.cache.hits";
 inline constexpr const char* kServeCacheMisses = "serve.cache.misses";
+inline constexpr const char* kServeCacheEvictions =
+    "serve.cache.evictions";
 inline constexpr const char* kServeBatchWidth = "serve.batch.width";
 inline constexpr const char* kServeQueuePeakDepth =
     "serve.queue.peak_depth";

@@ -1,12 +1,52 @@
 #include "serve/cache.hpp"
 
+#include "obs/catalog.hpp"
+
 namespace beesim::serve {
 
-PointCache::PointCache(std::size_t shards) {
+PointCache::PointCache(std::size_t shards, std::size_t capacity) {
   if (shards < 1) shards = 1;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+  capacity_ = per_shard_capacity_ * shards;
+}
+
+std::size_t PointCache::claim_slot(Shard& shard, const PointKey& key,
+                                   Kind kind) {
+  // New entries start unreferenced: they earn their second chance on the
+  // first lookup. Inserting with the bit set would let a burst of fresh
+  // keys force the hand all the way around and evict the hot entry it
+  // just cleared (CLOCK degenerates to FIFO at small capacities).
+  if (per_shard_capacity_ == 0 || shard.ring.size() < per_shard_capacity_) {
+    shard.ring.push_back({key, kind, 0});
+    return shard.ring.size() - 1;
+  }
+  // CLOCK: sweep the hand, granting one second chance per referenced
+  // slot; the first unreferenced slot is the victim. Terminates within
+  // two laps because every pass clears a reference bit.
+  for (;;) {
+    Slot& slot = shard.ring[shard.hand];
+    const std::size_t index = shard.hand;
+    shard.hand = (shard.hand + 1) % shard.ring.size();
+    if (slot.referenced != 0) {
+      slot.referenced = 0;
+      continue;
+    }
+    if (slot.kind == Kind::kSweep)
+      shard.sweep.erase(slot.key);
+    else
+      shard.resilience.erase(slot.key);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static auto& evictions =
+          obs::registry().counter(obs::metric::kServeCacheEvictions);
+      evictions.inc();
+    }
+    slot = {key, kind, 0};
+    return index;
+  }
 }
 
 bool PointCache::lookup_sweep(const PointKey& key,
@@ -16,7 +56,8 @@ bool PointCache::lookup_sweep(const PointKey& key,
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.sweep.find(key);
     if (it != shard.sweep.end()) {
-      *out = it->second;
+      *out = it->second.point;
+      shard.ring[it->second.slot].referenced = 1;
       hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -29,7 +70,9 @@ void PointCache::insert_sweep(const PointKey& key,
                               const core::SweepPoint& point) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.sweep.emplace(key, point);
+  if (shard.sweep.count(key) != 0) return;  // first writer wins
+  const std::size_t slot = claim_slot(shard, key, Kind::kSweep);
+  shard.sweep.emplace(key, Entry<core::SweepPoint>{point, slot});
 }
 
 bool PointCache::lookup_resilience(const PointKey& key,
@@ -39,7 +82,8 @@ bool PointCache::lookup_resilience(const PointKey& key,
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.resilience.find(key);
     if (it != shard.resilience.end()) {
-      *out = it->second;
+      *out = it->second.point;
+      shard.ring[it->second.slot].referenced = 1;
       hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -52,18 +96,31 @@ void PointCache::insert_resilience(const PointKey& key,
                                    const core::ResiliencePoint& point) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.resilience.emplace(key, point);
+  if (shard.resilience.count(key) != 0) return;  // first writer wins
+  const std::size_t slot = claim_slot(shard, key, Kind::kResilience);
+  shard.resilience.emplace(key, Entry<core::ResiliencePoint>{point, slot});
 }
 
 PointCache::Stats PointCache::stats() const {
   Stats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     stats.entries += shard->sweep.size() + shard->resilience.size();
   }
   return stats;
+}
+
+std::vector<std::size_t> PointCache::shard_occupancy() const {
+  std::vector<std::size_t> occupancy;
+  occupancy.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    occupancy.push_back(shard->sweep.size() + shard->resilience.size());
+  }
+  return occupancy;
 }
 
 }  // namespace beesim::serve

@@ -48,7 +48,8 @@ ServeMetrics& metrics() {
 
 SimulationService::SimulationService() : SimulationService(Config()) {}
 
-SimulationService::SimulationService(Config config) : config_(config) {
+SimulationService::SimulationService(Config config)
+    : config_(config), cache_(16, config.cache_capacity) {
   if (config_.max_batch < 1) config_.max_batch = 1;
   if (config_.max_in_flight < 1) config_.max_in_flight = 1;
   // With workers = 0 (manual mode) one queue still exists so submit/drain

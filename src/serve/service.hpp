@@ -53,6 +53,12 @@ class SimulationService {
     /// coalescing still applies) — the baseline the serving_load bench
     /// compares against.
     bool cache_enabled = true;
+    /// Total PointCache entry bound (0 = unbounded). At the bound the
+    /// cache evicts CLOCK victims instead of growing — the fix for the
+    /// long-lived-service leak where every distinct scenario stayed
+    /// resident forever. Evictions never change results: a re-computed
+    /// point is bit-identical to the evicted one.
+    std::size_t cache_capacity = PointCache::kDefaultCapacity;
   };
 
   /// The outcome of one submit: a typed admission decision, plus (only

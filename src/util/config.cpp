@@ -1,5 +1,7 @@
 #include "util/config.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
@@ -40,9 +42,18 @@ double Config::get_double(const std::string& key, double fallback) const {
   if (it == values_.end()) return fallback;
   consumed_[key] = true;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0')
     throw std::invalid_argument("Config: '" + key + "' is not a number: " +
+                                it->second);
+  // strtod signals overflow by returning +/-HUGE_VAL with errno ERANGE;
+  // silently saturating would turn a typo into an infinite sweep bound.
+  // Underflow (ERANGE with a denormal-or-zero result) stays accepted —
+  // a tiny magnitude rounding toward zero is a sane reading, infinity is
+  // not.
+  if (errno == ERANGE && std::isinf(v))
+    throw std::invalid_argument("Config: '" + key + "' overflows a double: " +
                                 it->second);
   return v;
 }
@@ -53,9 +64,17 @@ std::int64_t Config::get_int(const std::string& key,
   if (it == values_.end()) return fallback;
   consumed_[key] = true;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0')
     throw std::invalid_argument("Config: '" + key + "' is not an integer: " +
+                                it->second);
+  // strtoll saturates to LLONG_MIN/LLONG_MAX on overflow with errno
+  // ERANGE; e.g. cycles=99999999999999999999 must be an error, not a
+  // silent LLONG_MAX-cycle run.
+  if (errno == ERANGE)
+    throw std::invalid_argument("Config: '" + key +
+                                "' overflows a 64-bit integer: " +
                                 it->second);
   return v;
 }

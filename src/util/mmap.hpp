@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace beesim::util {
+
+/// RAII memory-mapped file, the I/O substrate of the checkpoint layer
+/// (docs/CHECKPOINT.md). Loading a snapshot is "map + validate + bulk
+/// column copies" — the kernel pages bytes in on demand and nothing is
+/// parsed — and saving maps a freshly sized file and memcpy's the column
+/// images straight into the page cache. Move-only; the mapping is
+/// released on destruction (no fsync: checkpoints are crash *restart*
+/// points, not transactional storage — see docs/CHECKPOINT.md).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps an existing file read-only. Throws std::runtime_error (with
+  /// the path and errno string) when the file cannot be opened or mapped;
+  /// an empty file maps successfully with size() == 0.
+  static MappedFile open_readonly(const std::string& path);
+
+  /// Creates (or truncates) `path` at exactly `size` bytes and maps it
+  /// read-write. `size` must be > 0.
+  static MappedFile create(const std::string& path, std::size_t size);
+
+  const std::uint8_t* data() const noexcept {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  std::uint8_t* mutable_data() noexcept {
+    return static_cast<std::uint8_t*>(addr_);
+  }
+  std::size_t size() const noexcept { return size_; }
+  bool mapped() const noexcept { return addr_ != nullptr; }
+
+  /// Unmaps now (idempotent; the destructor calls it).
+  void reset() noexcept;
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace beesim::util

@@ -79,6 +79,25 @@ bool Rng::chance(double p) noexcept { return uniform() < p; }
 
 Rng Rng::fork() noexcept { return Rng((*this)()); }
 
+Rng::State Rng::state() const noexcept {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+Rng Rng::from_state(const State& state) noexcept {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.s_[i] = state.s[i];
+  // Guard the all-zero xoshiro fixed point, as the seeding path does —
+  // a zeroed State must still yield a working generator.
+  if ((rng.s_[0] | rng.s_[1] | rng.s_[2] | rng.s_[3]) == 0) rng.s_[0] = 1;
+  rng.cached_normal_ = state.cached_normal;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  return rng;
+}
+
 Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
   // Mix the seed, fold the stream id in (multiplying by an odd constant
   // keeps distinct ids distinct mod 2^64), and mix again: two splitmix64

@@ -55,6 +55,22 @@ class Rng {
   /// stream instead of sharing one sequential generator.
   static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept;
 
+  /// Complete generator state — the xoshiro words plus the Box-Muller
+  /// cache — as a trivially-copyable value. A generator restored from a
+  /// saved state continues the exact draw sequence of the original, which
+  /// is what lets checkpointed sweeps resume mid-point bit-identically
+  /// (core::Checkpoint persists one State per sweep point).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  /// Snapshot of the current state (the next draw is unaffected).
+  State state() const noexcept;
+  /// A generator that resumes exactly where `state` was captured.
+  static Rng from_state(const State& state) noexcept;
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -16,6 +16,28 @@ void RunningStats::add(double x) noexcept {
   max_ = std::max(max_, x);
 }
 
+RunningStats::Raw RunningStats::raw() const noexcept {
+  Raw raw;
+  raw.n = n_;
+  raw.mean = mean_;
+  raw.m2 = m2_;
+  raw.sum = sum_;
+  raw.min = min_;
+  raw.max = max_;
+  return raw;
+}
+
+RunningStats RunningStats::from_raw(const Raw& raw) noexcept {
+  RunningStats stats;
+  stats.n_ = static_cast<std::size_t>(raw.n);
+  stats.mean_ = raw.mean;
+  stats.m2_ = raw.m2;
+  stats.sum_ = raw.sum;
+  stats.min_ = raw.min;
+  stats.max_ = raw.max;
+  return stats;
+}
+
 void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

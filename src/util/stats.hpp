@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -10,8 +11,26 @@ namespace beesim::util {
 /// and routine-power statistics (paper Section IV reports mean, sigma).
 class RunningStats {
  public:
+  /// The accumulator fields as a flat trivially-copyable record, in the
+  /// exact representation `add`/`merge` maintain (min/max keep their
+  /// +/-infinity empty-state sentinels). This is the unit the columnar
+  /// fleet state (core::FleetColumns) stores per column and the
+  /// checkpoint layer persists — from_raw(raw()) is the identity, so a
+  /// restored accumulator continues the exact Welford recurrence.
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
+
+  Raw raw() const noexcept;
+  static RunningStats from_raw(const Raw& raw) noexcept;
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }

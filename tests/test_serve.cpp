@@ -515,3 +515,111 @@ TEST(PointCache, FirstWriterWinsAndCounts) {
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_DOUBLE_EQ(stats.hit_ratio(), 0.5);
 }
+
+TEST(PointCache, CapacityBoundEvictsAndCounts) {
+  // 2 shards x 4 per shard: the 9th distinct key must evict. Before the
+  // capacity bound, a long-lived service leaked one entry per novel
+  // scenario forever (the never-evicts bug this suite regressed on).
+  serve::PointCache cache(2, 8);
+  EXPECT_EQ(cache.capacity(), 8u);
+  core::SweepPoint point;
+  for (int i = 0; i < 64; ++i) {
+    const serve::PointKey key{core::Hash128{static_cast<std::uint64_t>(i),
+                                            0xabcdefULL},
+                              10 * i};
+    point.initial_clients = 10 * i;
+    cache.insert_sweep(key, point);
+    EXPECT_LE(cache.stats().entries, 8u) << "after insert " << i;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_EQ(stats.evictions, 64u - 8u);
+}
+
+TEST(PointCache, RecomputedEvictedPointIsBitIdentical) {
+  // The determinism contract that makes eviction safe: dropping an entry
+  // and recomputing it from the simulator reproduces the exact bytes the
+  // cache held, because every point derives from its own (seed, fleet
+  // size) RNG stream.
+  core::FleetParams fleet = core::FleetParams::paper_default();
+  fleet.loss = core::LossConfig::all();
+  const core::LargeScaleSimulator sim(fleet);
+  const auto first = sim.sweep({120}, 5, 4, 1);
+
+  serve::PointCache cache(1, 2);  // tiny: two entries, then CLOCK
+  const serve::PointKey key{core::Hash128{7, 9}, 120};
+  cache.insert_sweep(key, first[0]);
+  for (int i = 0; i < 8; ++i) {  // flood until `key` is evicted
+    const serve::PointKey other{core::Hash128{100 + static_cast<std::uint64_t>(i), 1}, i};
+    core::SweepPoint filler;
+    cache.insert_sweep(other, filler);
+  }
+  core::SweepPoint out;
+  ASSERT_FALSE(cache.lookup_sweep(key, &out)) << "flood did not evict";
+
+  const auto recomputed = sim.sweep({120}, 5, 4, 1);
+  expect_points_identical(recomputed[0], first[0]);
+  cache.insert_sweep(key, recomputed[0]);
+  ASSERT_TRUE(cache.lookup_sweep(key, &out));
+  expect_points_identical(out, first[0]);
+}
+
+TEST(PointCache, CapacityZeroNeverEvicts) {
+  serve::PointCache cache(2, 0);
+  core::SweepPoint point;
+  for (int i = 0; i < 500; ++i) {
+    const serve::PointKey key{core::Hash128{static_cast<std::uint64_t>(i), 3}, i};
+    cache.insert_sweep(key, point);
+  }
+  EXPECT_EQ(cache.stats().entries, 500u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PointCache, ClockKeepsRecentlyUsedEntries) {
+  // One shard, capacity 2: touch A on every round while inserting new
+  // keys — the second-chance bit must keep A resident while the
+  // untouched keys cycle out.
+  serve::PointCache cache(1, 2);
+  const serve::PointKey hot{core::Hash128{1, 1}, 1};
+  core::SweepPoint point;
+  cache.insert_sweep(hot, point);
+  core::SweepPoint out;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cache.lookup_sweep(hot, &out)) << "round " << i;
+    const serve::PointKey cold{core::Hash128{50 + static_cast<std::uint64_t>(i), 2}, i};
+    cache.insert_sweep(cold, point);
+  }
+  EXPECT_TRUE(cache.lookup_sweep(hot, &out));
+}
+
+TEST(PointCache, ShardSelectionIsNearUniform) {
+  // The shard selector re-mixes the bucket hash (PointCache::shard_mix);
+  // with the raw bucket hash reused for both, each shard's map saw only
+  // keys congruent to its own index and most buckets sat empty. Assert
+  // the occupancy of every shard stays within 50% of the uniform share
+  // across distinct realistic keys.
+  const std::size_t kShards = 16;
+  const int kKeys = 4096;
+  serve::PointCache cache(kShards, 0);
+  core::SweepPoint point;
+  int inserted = 0;
+  for (int g = 0; g < kKeys / 8; ++g) {
+    core::CanonicalHasher hasher;
+    hasher.i64(g);
+    const core::Hash128 group = hasher.digest();
+    for (int n = 100; n <= 800; n += 100) {
+      cache.insert_sweep(serve::PointKey{group, n}, point);
+      ++inserted;
+    }
+  }
+  const auto occupancy = cache.shard_occupancy();
+  ASSERT_EQ(occupancy.size(), kShards);
+  const double share = static_cast<double>(inserted) /
+                       static_cast<double>(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(static_cast<double>(occupancy[s]), share * 0.5)
+        << "shard " << s << " starved";
+    EXPECT_LT(static_cast<double>(occupancy[s]), share * 1.5)
+        << "shard " << s << " overloaded";
+  }
+}

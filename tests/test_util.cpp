@@ -263,6 +263,41 @@ TEST(Config, RejectsNonNumeric) {
   EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
 }
 
+TEST(Config, RejectsIntegerOverflow) {
+  // strtoll saturates at LLONG_MAX/LLONG_MIN with errno ERANGE; the old
+  // parser swallowed that and handed benches a silently clamped cycle
+  // count. Regression: out-of-range integers must throw.
+  const char* argv[] = {"prog", "big=99999999999999999999",
+                        "small=-99999999999999999999"};
+  u::Config cfg(3, argv);
+  EXPECT_THROW(cfg.get_int("big", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("small", 0), std::invalid_argument);
+}
+
+TEST(Config, RejectsDoubleOverflow) {
+  // strtod overflow returns +/-HUGE_VAL with errno ERANGE — also an
+  // error, not a value.
+  const char* argv[] = {"prog", "huge=1e999", "neg=-1e999"};
+  u::Config cfg(3, argv);
+  EXPECT_THROW(cfg.get_double("huge", 0.0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_double("neg", 0.0), std::invalid_argument);
+}
+
+TEST(Config, AcceptsDenormalUnderflow) {
+  // Underflow (ERANGE with a denormal-or-zero result) stays accepted —
+  // 1e-320 is a usable value, not a parse error.
+  const char* argv[] = {"prog", "tiny=1e-320"};
+  u::Config cfg(2, argv);
+  EXPECT_NO_THROW(cfg.get_double("tiny", 0.0));
+}
+
+TEST(Config, RejectsTrailingGarbageAfterNumber) {
+  const char* argv[] = {"prog", "n=12x", "d=3.5q"};
+  u::Config cfg(3, argv);
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_double("d", 0.0), std::invalid_argument);
+}
+
 TEST(Config, TracksUnusedKeys) {
   const char* argv[] = {"prog", "used=1", "unused=2"};
   u::Config cfg(3, argv);
