@@ -14,7 +14,13 @@
 // Usage: fig5_model_energy_accuracy [clips=240] [clip_seconds=1.5]
 //          [epochs=8] [seed=2023] [sides=20,40,60,80,100,140]
 //          [kernels=fast]   (fast | reference DSP/ML kernel paths)
+//          [dispatch=auto]  (auto | scalar | sse2 | avx2 SIMD tier —
+//                            bit-identical output under every tier)
+//          [precision=f32]  (f32 | bf16 | int8: adds a reduced-precision
+//                            inference pass with scaled edge energy and
+//                            accuracy deltas vs the f32 reference)
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -22,10 +28,12 @@
 #include "audio/dataset.hpp"
 #include "bench_common.hpp"
 #include "device/calibration.hpp"
+#include "dsp/dispatch.hpp"
 #include "dsp/kernel_config.hpp"
 #include "ml/costmodel.hpp"
 #include "ml/metrics.hpp"
 #include "ml/network.hpp"
+#include "ml/precision.hpp"
 #include "ml/svm.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -56,7 +64,12 @@ int main(int argc, char** argv) {
   const auto sides = parse_sides(
       args.config().get_string("sides", "20,40,60,80,100,140"));
   const auto kernels = args.config().get_string("kernels", "fast");
-  dsp::set_kernel_config(dsp::kernel_config_from_name(kernels));
+  dsp::KernelConfig kcfg = dsp::kernel_config_from_name(kernels);
+  kcfg.dispatch =
+      dsp::isa_from_name(args.config().get_string("dispatch", "auto"));
+  dsp::set_kernel_config(kcfg);
+  const ml::Precision precision = ml::precision_from_name(
+      args.config().get_string("precision", "f32"));
 
   bench::banner("Fig 5",
                 "prediction energy and accuracy vs image resolution");
@@ -108,6 +121,9 @@ int main(int argc, char** argv) {
   double acc_at_100 = -1.0;
   const auto cloud = ml::cloud_cnn_compute();
   std::vector<double> accuracy(sides.size(), 0.0);
+  std::vector<ml::Network> nets(sides.size());
+  std::vector<std::vector<dsp::Matrix>> test_sets(sides.size());
+  std::vector<std::vector<std::size_t>> test_label_sets(sides.size());
   util::parallel_for(sides.size(), [&](std::size_t idx) {
     const std::size_t side = sides[idx];
     std::vector<dsp::Matrix> train_images;
@@ -131,6 +147,11 @@ int main(int argc, char** argv) {
       test_labels.push_back(ds.examples[i].queen_present ? 1u : 0u);
     }
     accuracy[idx] = ml::evaluate_classifier(net, test_images, test_labels);
+    // Keep the trained nets and test sets so the reduced-precision pass
+    // below re-evaluates the same models instead of retraining.
+    nets[idx] = std::move(net);
+    test_sets[idx] = std::move(test_images);
+    test_label_sets[idx] = std::move(test_labels);
   });
   for (std::size_t idx = 0; idx < sides.size(); ++idx) {
     const std::size_t side = sides[idx];
@@ -162,5 +183,47 @@ int main(int argc, char** argv) {
       "the number of pixels; convolutional inference is linear in pixels,\n"
       "i.e. quadratic in the image side, which is the law shown above and\n"
       "the reading consistent with their own Fig 5 values.\n");
+
+  if (precision != ml::Precision::kF32) {
+    // Reduced-precision inference pass: the same trained nets, evaluated
+    // with quantized forward passes. Energy scales by the committed
+    // per-precision throughput calibration; accuracy deltas come from the
+    // actual quantized evaluations.
+    const double scale = ml::precision_throughput_scale(precision);
+    std::printf("\nReduced-precision inference (%s, throughput x%.2f vs "
+                "f32, dispatch %s):\n\n",
+                ml::precision_name(precision), scale,
+                dsp::isa_name(dsp::active_isa()));
+    ml::set_inference_precision(precision);
+    util::AsciiTable ptable({"Image side (px)", "Edge energy (J)",
+                             "Accuracy", "Delta vs f32"});
+    double pacc_at_100 = -1.0;
+    double max_abs_delta = 0.0;
+    for (std::size_t idx = 0; idx < sides.size(); ++idx) {
+      const std::size_t side = sides[idx];
+      const double pacc = ml::evaluate_classifier(nets[idx], test_sets[idx],
+                                                  test_label_sets[idx]);
+      const double delta = pacc - accuracy[idx];
+      max_abs_delta = std::max(max_abs_delta, std::fabs(delta));
+      if (side == 100) pacc_at_100 = pacc;
+      ptable.add_row({std::to_string(side),
+                      util::AsciiTable::num(
+                          ml::edge_cnn_prediction_energy(side, precision),
+                          1),
+                      util::AsciiTable::num(pacc, 3),
+                      util::AsciiTable::num(delta, 3)});
+    }
+    ml::set_inference_precision(ml::Precision::kF32);
+    std::printf("%s", ptable.render().c_str());
+
+    std::printf("\nPrecision anchors:\n");
+    bench::check_line("edge CNN energy at 100x100 (94.8 J / throughput)",
+                      94.8 / scale,
+                      ml::edge_cnn_prediction_energy(100, precision), "J");
+    if (pacc_at_100 >= 0.0 && acc_at_100 >= 0.0)
+      bench::check_line("quantized accuracy at 100x100 (f32 reference)",
+                        acc_at_100, pacc_at_100, "");
+    std::printf("max |accuracy delta| across sides: %.3f\n", max_abs_delta);
+  }
   return 0;
 }

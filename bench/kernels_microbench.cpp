@@ -10,11 +10,14 @@
 
 #include "audio/synth.hpp"
 #include "core/network_sim.hpp"
+#include "dsp/dispatch.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/kernel_config.hpp"
 #include "dsp/mel.hpp"
+#include "dsp/simd_kernels.hpp"
 #include "dsp/spectrogram.hpp"
 #include "ml/network.hpp"
+#include "ml/precision.hpp"
 #include "ml/svm.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -186,6 +189,96 @@ void BM_CnnForwardNaive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnnForwardNaive)->Arg(20)->Arg(50)->Arg(100);
+
+// GEMM microkernels behind the runtime CPU dispatch, on the conv-like
+// shape of the 100x100 queen CNN's widest layer (m = output channels,
+// n = output pixels, k = in_channels * 3 * 3 after im2col). One shape,
+// every tier and precision: the tier ratios justify the dispatch layer,
+// the precision ratios are the measured throughput scales committed in
+// ml::precision_throughput_scale (scripts/check.sh --bench records both
+// in BENCH_des.json).
+constexpr std::size_t kGemmM = 16;
+constexpr std::size_t kGemmN = 2500;
+constexpr std::size_t kGemmK = 144;
+
+struct GemmOperands {
+  std::vector<float> a, b, bias, c;
+  GemmOperands() : a(kGemmM * kGemmK), b(kGemmK * kGemmN), bias(kGemmM),
+                   c(kGemmM * kGemmN) {
+    util::Rng rng(9);
+    for (auto& v : a) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& v : bias) v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+};
+
+void gemm_f32_tier(benchmark::State& state, dsp::IsaTier tier) {
+  GemmOperands ops;
+  const dsp::KernelTable& kt = dsp::kernel_table(tier);
+  for (auto _ : state) {
+    kt.sgemm_bias(kGemmM, kGemmN, kGemmK, ops.a.data(), ops.b.data(),
+                  ops.bias.data(), ops.c.data());
+    benchmark::DoNotOptimize(ops.c.data());
+  }
+  // FLOPs (mul + add per element-product) so tiers compare as flops/s.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kGemmM * kGemmN *
+                                                    kGemmK));
+}
+
+void BM_GemmF32Scalar(benchmark::State& state) {
+  gemm_f32_tier(state, dsp::IsaTier::kScalar);
+}
+BENCHMARK(BM_GemmF32Scalar);
+
+void BM_GemmF32Sse2(benchmark::State& state) {
+  gemm_f32_tier(state, dsp::IsaTier::kSse2);
+}
+BENCHMARK(BM_GemmF32Sse2);
+
+void BM_GemmF32Avx2(benchmark::State& state) {
+  // On CPUs without AVX2 the table degrades to the best supported tier —
+  // the `isa` counter records what actually ran.
+  state.counters["isa"] =
+      static_cast<double>(dsp::detected_isa() >= dsp::IsaTier::kAvx2 ? 2
+                          : dsp::detected_isa() == dsp::IsaTier::kSse2 ? 1
+                                                                       : 0);
+  gemm_f32_tier(state, dsp::IsaTier::kAvx2);
+}
+BENCHMARK(BM_GemmF32Avx2);
+
+void BM_GemmBf16(benchmark::State& state) {
+  GemmOperands ops;
+  const auto a16 = ml::to_bf16(ops.a.data(), ops.a.size());
+  const auto b16 = ml::to_bf16(ops.b.data(), ops.b.size());
+  const dsp::KernelTable& kt = dsp::kernel_table();
+  for (auto _ : state) {
+    kt.sgemm_bias_bf16(kGemmM, kGemmN, kGemmK, a16.data(), b16.data(),
+                       ops.bias.data(), ops.c.data());
+    benchmark::DoNotOptimize(ops.c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kGemmM * kGemmN *
+                                                    kGemmK));
+}
+BENCHMARK(BM_GemmBf16);
+
+void BM_GemmInt8(benchmark::State& state) {
+  GemmOperands ops;
+  const auto qa = ml::quantize_rows_s8(ops.a.data(), kGemmM, kGemmK);
+  const auto qb = ml::quantize_tensor_s8(ops.b.data(), ops.b.size());
+  const dsp::KernelTable& kt = dsp::kernel_table();
+  for (auto _ : state) {
+    kt.sgemm_bias_s8(kGemmM, kGemmN, kGemmK, qa.values.data(),
+                     qa.scales.data(), qb.values.data(), qb.scale,
+                     ops.bias.data(), ops.c.data());
+    benchmark::DoNotOptimize(ops.c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kGemmM * kGemmN *
+                                                    kGemmK));
+}
+BENCHMARK(BM_GemmInt8);
 
 void BM_SvmDecision(benchmark::State& state) {
   util::Rng rng(5);

@@ -6,7 +6,11 @@
 #
 # 1. Configure, build and run the full test suite.
 # 2. Fast-path parity: fig5 anchors must be identical under the
-#    reference and fast DSP/ML kernel configs.
+#    reference and fast DSP/ML kernel configs, and the full fig5 output
+#    (thread-count line normalized) must be byte-identical to
+#    scripts/anchors/fig5.txt under both forced-scalar and auto SIMD
+#    dispatch — the runtime CPU dispatch tier is a pure throughput knob
+#    (docs/ARCHITECTURE.md "Runtime CPU dispatch").
 # 3. Resilience anchors: with an empty FaultPlan the fig6/fig8/fig9
 #    benches must be byte-identical to the committed scripts/anchors/
 #    outputs (the fault layer costs nothing until scheduled), and the
@@ -36,10 +40,13 @@
 # Opt-in steps:
 #   --bench     run des_microbench + scale_fleet + kernels_microbench
 #               and write the headline numbers to BENCH_des.json at the
-#               repo root (perf trajectory across PRs).
+#               repo root (perf trajectory across PRs), including the
+#               per-tier / per-precision GEMM kernel throughput and the
+#               avx2-vs-scalar and int8/bf16-vs-f32 speedup ratios.
 #   --sanitize  configure a second build tree (<build-dir>-san) with
 #               -DBEESIM_SANITIZE=address,undefined and run the
-#               sim/fault/net/checkpoint test binaries under ASan+UBSan.
+#               sim/fault/net/checkpoint/simd/precision test binaries
+#               under ASan+UBSan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -55,6 +62,17 @@ for arg in "$@"; do
   esac
 done
 fail=0
+
+check_anchor() {
+  local name="$1" anchor="$2" actual="$3"
+  if cmp -s "$anchor" "$actual"; then
+    echo "  ok  $name matches $(basename "$anchor")"
+  else
+    echo "  MISMATCH  $name diverged from committed anchor $anchor"
+    diff "$anchor" "$actual" | head -20 || true
+    fail=1
+  fi
+}
 
 echo "== tier-1: configure + build + test =="
 cmake -B "$repo/$build" -S "$repo"
@@ -102,17 +120,26 @@ else
 fi
 
 echo
+echo "== fig5: SIMD dispatch tiers byte-identical to committed anchor =="
+# Full stdout (not just anchor lines) must reproduce the committed
+# forced-scalar output under every dispatch tier. The thread-count line
+# is normalized: it reflects the machine, not the computation.
+normalize_fig5() { sed 's/, [0-9]* threads)/, N threads)/' "$1"; }
+# shellcheck disable=SC2086
+"$repo/$build/bench/fig5_model_energy_accuracy" $fig5_args \
+  dispatch=scalar > "$tmp/fig5_scalar_raw.txt"
+# shellcheck disable=SC2086
+"$repo/$build/bench/fig5_model_energy_accuracy" $fig5_args \
+  dispatch=auto > "$tmp/fig5_auto_raw.txt"
+normalize_fig5 "$tmp/fig5_scalar_raw.txt" > "$tmp/fig5_scalar.txt"
+normalize_fig5 "$tmp/fig5_auto_raw.txt" > "$tmp/fig5_auto.txt"
+check_anchor "fig5 dispatch=scalar" "$repo/scripts/anchors/fig5.txt" \
+  "$tmp/fig5_scalar.txt"
+check_anchor "fig5 dispatch=auto" "$repo/scripts/anchors/fig5.txt" \
+  "$tmp/fig5_auto.txt"
+
+echo
 echo "== resilience: fault-free benches byte-identical to anchors =="
-check_anchor() {
-  local name="$1" anchor="$2" actual="$3"
-  if cmp -s "$anchor" "$actual"; then
-    echo "  ok  $name matches $(basename "$anchor")"
-  else
-    echo "  MISMATCH  $name diverged from committed anchor $anchor"
-    diff "$anchor" "$actual" | head -20 || true
-    fail=1
-  fi
-}
 "$repo/$build/bench/fig6_largescale_ideal" hi=100 > "$tmp/fig6.txt"
 check_anchor "fig6" "$repo/scripts/anchors/fig6.txt" "$tmp/fig6.txt"
 "$repo/$build/bench/fig8_losses" hi=100 step=50 cycles_per_point=2 \
@@ -230,10 +257,27 @@ if [ "$run_bench" -eq 1 ]; then
                    farm_save_ms: ($cksave | tonumber),
                    farm_restore_ms: ($ckrestore | tonumber)},
       kernels: [$kern[0].benchmarks[]
-                | {name, real_time, time_unit}]}' \
+                | {name, real_time, time_unit}],
+      gemm: ($kern[0].benchmarks
+             | map(select(.items_per_second != null)
+                   | {(.name): .items_per_second})
+             | add
+             | {f32_scalar_flops_per_s: .BM_GemmF32Scalar,
+                f32_sse2_flops_per_s: .BM_GemmF32Sse2,
+                f32_avx2_flops_per_s: .BM_GemmF32Avx2,
+                bf16_flops_per_s: .BM_GemmBf16,
+                int8_flops_per_s: .BM_GemmInt8,
+                avx2_speedup_vs_scalar:
+                  (.BM_GemmF32Avx2 / .BM_GemmF32Scalar),
+                bf16_speedup_vs_f32: (.BM_GemmBf16 / .BM_GemmF32Avx2),
+                int8_speedup_vs_f32: (.BM_GemmInt8 / .BM_GemmF32Avx2)})}' \
     > "$repo/BENCH_des.json"
   echo "  wrote BENCH_des.json ($(jq -r '.des.periodic_speedup_vs_seed' \
-    "$repo/BENCH_des.json")x periodic speedup vs seed engine)"
+    "$repo/BENCH_des.json")x periodic speedup vs seed engine," \
+    "gemm avx2 $(jq -r '.gemm.avx2_speedup_vs_scalar' \
+    "$repo/BENCH_des.json")x vs scalar," \
+    "int8 $(jq -r '.gemm.int8_speedup_vs_f32' \
+    "$repo/BENCH_des.json")x vs f32)"
 fi
 
 if [ "$run_sanitize" -eq 1 ]; then
@@ -242,8 +286,10 @@ if [ "$run_sanitize" -eq 1 ]; then
   cmake -B "$repo/$build-san" -S "$repo" \
     -DBEESIM_SANITIZE=address,undefined > /dev/null
   cmake --build "$repo/$build-san" -j \
-    --target test_sim test_fault test_net test_checkpoint > /dev/null
-  for t in test_sim test_fault test_net test_checkpoint; do
+    --target test_sim test_fault test_net test_checkpoint \
+             test_simd test_precision > /dev/null
+  for t in test_sim test_fault test_net test_checkpoint \
+           test_simd test_precision; do
     if "$repo/$build-san/tests/$t" --gtest_brief=1 > "$tmp/$t.san.log" 2>&1
     then
       echo "  ok  $t clean under address,undefined"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsp/simd_kernels.hpp"
 #include "util/parallel.hpp"
 
 namespace beesim::core {
@@ -209,30 +210,55 @@ bool LargeScaleSimulator::advance(FleetColumns& columns, int max_cycles,
         util::Rng rng = util::Rng::from_state(columns.rng_state(i));
         const int n = columns.clients[i];
         int servers = columns.servers_used[i];
-        // Run the budget on stack accumulators and store back once:
-        // stats()/set() are exact representation transfers and add() is
-        // the same Welford recurrence, so the result is bit-identical to
-        // updating the columns in place — but the loop touches five
-        // locals instead of thirty scattered column entries per cycle.
-        util::RunningStats lost = columns.lost_clients.stats(i);
-        util::RunningStats active = columns.active_slots.stats(i);
-        util::RunningStats edge = columns.edge_energy.stats(i);
-        util::RunningStats cloud = columns.cloud_energy.stats(i);
-        util::RunningStats total = columns.total_energy.stats(i);
+        // Run the budget through the dispatched five-lane Welford kernel:
+        // every statistic sees every cycle, so all five share one n and
+        // advance in lockstep. Cycle results are buffered in chunks and
+        // batch-added — the stat updates draw no RNG, so deferring them
+        // past simulate_cycle is pure reordering, and the kernel applies
+        // the exact RunningStats::add recurrence per sample per lane
+        // under every tier. Net result: bit-identical to the old
+        // add-per-cycle loop (tested in tests/test_simd.cpp).
+        StatColumns* cols[5] = {&columns.lost_clients, &columns.active_slots,
+                                &columns.edge_energy, &columns.cloud_energy,
+                                &columns.total_energy};
+        dsp::Welford5 st;
+        st.n = columns.lost_clients.n[i];
+        for (int l = 0; l < 5; ++l) {
+          st.mean[l] = cols[l]->mean[i];
+          st.m2[l] = cols[l]->m2[i];
+          st.sum[l] = cols[l]->sum[i];
+          st.min[l] = cols[l]->min[i];
+          st.max[l] = cols[l]->max[i];
+        }
+        const dsp::KernelTable& kernels = dsp::kernel_table();
+        constexpr int kChunk = 128;
+        double buf[kChunk * 5];
+        int filled = 0;
         for (int c = 0; c < budget; ++c) {
           const CycleResult r = simulate_cycle(n, rng);
           servers = std::max(servers, r.servers_used);
-          lost.add(static_cast<double>(r.lost_clients));
-          active.add(static_cast<double>(r.active_slots));
-          edge.add(r.edge_energy);
-          cloud.add(r.cloud_energy);
-          total.add(r.edge_energy + r.cloud_energy);
+          double* row = buf + filled * 5;
+          row[0] = static_cast<double>(r.lost_clients);
+          row[1] = static_cast<double>(r.active_slots);
+          row[2] = r.edge_energy;
+          row[3] = r.cloud_energy;
+          row[4] = r.edge_energy + r.cloud_energy;
+          if (++filled == kChunk) {
+            kernels.welford5_add(&st, buf, kChunk);
+            filled = 0;
+          }
         }
-        columns.lost_clients.set(i, lost);
-        columns.active_slots.set(i, active);
-        columns.edge_energy.set(i, edge);
-        columns.cloud_energy.set(i, cloud);
-        columns.total_energy.set(i, total);
+        if (filled > 0)
+          kernels.welford5_add(&st, buf,
+                               static_cast<std::size_t>(filled));
+        for (int l = 0; l < 5; ++l) {
+          cols[l]->n[i] = st.n;
+          cols[l]->mean[i] = st.mean[l];
+          cols[l]->m2[i] = st.m2[l];
+          cols[l]->sum[i] = st.sum[l];
+          cols[l]->min[i] = st.min[l];
+          cols[l]->max[i] = st.max[l];
+        }
         columns.servers_used[i] = servers;
         columns.cycles_done[i] = done + budget;
         columns.set_rng_state(i, rng.state());

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/simd_kernels.hpp"
 #include "obs/catalog.hpp"
 
 namespace beesim::dsp {
@@ -107,20 +108,13 @@ void FftPlan::forward(Complex* data) const noexcept {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
+  // Each stage runs through the dispatched butterfly kernel — one call
+  // per stage amortizes the indirect-call overhead over n/2 butterflies.
+  const KernelTable& kernels = kernel_table();
   const Complex* tw = twiddles_.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex* lo = data + i;
-      Complex* hi = lo + half;
-      for (std::size_t k = 0; k < half; ++k) {
-        const Complex u = lo[k];
-        const Complex v = hi[k] * tw[k];
-        lo[k] = u + v;
-        hi[k] = u - v;
-      }
-    }
-    tw += half;
+    kernels.fft_stage(data, n, len, tw);
+    tw += len / 2;
   }
 }
 

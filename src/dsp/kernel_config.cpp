@@ -13,6 +13,7 @@ const KernelConfig& kernel_config() noexcept { return g_config; }
 
 void set_kernel_config(const KernelConfig& config) noexcept {
   g_config = config;
+  set_active_isa(config.dispatch);
 }
 
 KernelConfig kernel_config_from_name(const std::string& name) {

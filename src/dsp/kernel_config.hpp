@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "dsp/dispatch.hpp"
+
 namespace beesim::dsp {
 
 /// Selects between the optimized fast-path kernels and the naive
@@ -26,12 +28,16 @@ struct KernelConfig {
   /// Conv2d::forward lowers to im2col + register-blocked GEMM instead of
   /// the 6-deep nested loop.
   bool gemm_conv = true;
+  /// SIMD dispatch tier request (dsp/dispatch.hpp): kAuto probes cpuid;
+  /// an explicit tier caps dispatch at that tier (the `dispatch=` bench
+  /// argument). Every tier is bit-identical, so this only moves speed.
+  IsaRequest dispatch = IsaRequest::kAuto;
 
   static constexpr KernelConfig fast() noexcept {
-    return KernelConfig{true, true, true, true};
+    return KernelConfig{true, true, true, true, IsaRequest::kAuto};
   }
   static constexpr KernelConfig reference() noexcept {
-    return KernelConfig{false, false, false, false};
+    return KernelConfig{false, false, false, false, IsaRequest::kAuto};
   }
 };
 

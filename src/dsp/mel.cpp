@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dsp/simd_kernels.hpp"
 #include "obs/catalog.hpp"
 
 namespace beesim::dsp {
@@ -107,6 +108,7 @@ Matrix BandedFilterbank::apply(const Matrix& power) const {
         "BandedFilterbank::apply: filterbank bins != spectrum bins");
   Matrix out(bands(), power.cols());
   const std::size_t frames = power.cols();
+  const KernelTable& kernels = kernel_table();
   for (std::size_t m = 0; m < bands(); ++m) {
     const std::size_t first = first_[m];
     const std::size_t count = offset_[m + 1] - offset_[m];
@@ -115,11 +117,11 @@ Matrix BandedFilterbank::apply(const Matrix& power) const {
     for (std::size_t j = 0; j < count; ++j) {
       // Triangular bands have no interior zeros, but skip them anyway so
       // the accumulation order matches apply_filterbank bit for bit on
-      // any input matrix.
+      // any input matrix. The row update dispatches to the SIMD axpy
+      // kernel — same per-element mul/add order under every tier.
       if (w[j] == 0.0) continue;
       const double* in_row = power.data() + (first + j) * frames;
-      for (std::size_t f = 0; f < frames; ++f)
-        out_row[f] += w[j] * in_row[f];
+      kernels.axpy(w[j], in_row, out_row, frames);
     }
   }
   return out;

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/simd_kernels.hpp"
+
+// Internal per-tier entry points shared between the baseline translation
+// unit (simd_kernels.cpp: scalar reference + SSE2) and the AVX2 unit
+// (kernels_avx2.cpp, compiled with -mavx2 -mfma -ffp-contract=off). Not
+// part of the public kernel API — callers go through dsp::kernel_table().
+
+namespace beesim::dsp::detail {
+
+// Scalar reference tier (always available; the bit-identity oracle).
+void sgemm_bias_f32_scalar(std::size_t m, std::size_t n, std::size_t k,
+                           const float* a, const float* b, const float* bias,
+                           float* c);
+void sgemm_bias_bf16_scalar(std::size_t m, std::size_t n, std::size_t k,
+                            const std::uint16_t* a, const std::uint16_t* b,
+                            const float* bias, float* c);
+void sgemm_bias_s8_scalar(std::size_t m, std::size_t n, std::size_t k,
+                          const std::int8_t* a, const float* a_scales,
+                          const std::int8_t* b, float b_scale,
+                          const float* bias, float* c);
+void fft_stage_scalar(std::complex<double>* data, std::size_t n,
+                      std::size_t len, const std::complex<double>* tw);
+void axpy_scalar(double w, const double* in, double* out, std::size_t n);
+void welford5_add_scalar(Welford5* s, const double* xs, std::size_t count);
+
+// AVX2 tier (kernels_avx2.cpp; forwards to the scalar tier when that TU
+// is built without AVX2 support, e.g. on non-x86 targets).
+void sgemm_bias_f32_avx2(std::size_t m, std::size_t n, std::size_t k,
+                         const float* a, const float* b, const float* bias,
+                         float* c);
+void sgemm_bias_bf16_avx2(std::size_t m, std::size_t n, std::size_t k,
+                          const std::uint16_t* a, const std::uint16_t* b,
+                          const float* bias, float* c);
+void sgemm_bias_s8_avx2(std::size_t m, std::size_t n, std::size_t k,
+                        const std::int8_t* a, const float* a_scales,
+                        const std::int8_t* b, float b_scale,
+                        const float* bias, float* c);
+void fft_stage_avx2(std::complex<double>* data, std::size_t n,
+                    std::size_t len, const std::complex<double>* tw);
+void axpy_avx2(double w, const double* in, double* out, std::size_t n);
+void welford5_add_avx2(Welford5* s, const double* xs, std::size_t count);
+
+}  // namespace beesim::dsp::detail

@@ -81,12 +81,29 @@ double mel_frontend_flops(double clip_seconds, double sample_rate,
   return frames * (per_frame + fb);
 }
 
-DeviceComputeModel rpi_cnn_compute() {
+double precision_throughput_scale(Precision p) noexcept {
+  // Committed calibration constants: measured GEMM throughput ratios
+  // from bench/kernels_microbench (BM_GemmInt8 / BM_GemmBf16 over
+  // BM_GemmF32Avx2, conv-shaped m=16, n=2500, k=144) on the reference
+  // machine, rounded to one digit. bf16 measures ~1.0x on AVX2: without
+  // a native bf16 dot product the widen-on-load costs what the halved
+  // operand traffic saves, so only its memory footprint shrinks. See
+  // EXPERIMENTS.md "Reduced-precision inference".
+  switch (p) {
+    case Precision::kBf16: return 1.0;
+    case Precision::kInt8: return 1.8;
+    case Precision::kF32: break;
+  }
+  return 1.0;
+}
+
+DeviceComputeModel rpi_cnn_compute(Precision p) {
   // Table I: CNN inference on the RPi takes 37.6 s at 2.521 W (94.8 J)
   // with a 100x100 input.
   const double flops_at_100 = resnet18_flops(100);
   DeviceComputeModel m;
-  m.effective_flops_per_s = flops_at_100 / 37.6;
+  m.effective_flops_per_s =
+      flops_at_100 / 37.6 * precision_throughput_scale(p);
   m.active_power = 94.8 / 37.6;
   return m;
 }
@@ -100,9 +117,9 @@ DeviceComputeModel cloud_cnn_compute() {
   return m;
 }
 
-util::Joules edge_cnn_prediction_energy(std::size_t input_side) {
-  static const DeviceComputeModel model = rpi_cnn_compute();
-  return model.energy_for(resnet18_flops(input_side));
+util::Joules edge_cnn_prediction_energy(std::size_t input_side,
+                                        Precision p) {
+  return rpi_cnn_compute(p).energy_for(resnet18_flops(input_side));
 }
 
 }  // namespace beesim::ml

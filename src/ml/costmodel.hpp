@@ -1,5 +1,6 @@
 #pragma once
 
+#include "ml/precision.hpp"
 #include "util/units.hpp"
 
 namespace beesim::ml {
@@ -41,16 +42,30 @@ struct DeviceComputeModel {
   }
 };
 
+/// Per-precision effective-throughput multiplier of the edge CPU GEMM
+/// path, relative to f32 (= 1.0). The constants are calibrated from
+/// bench/kernels_microbench GEMM measurements on the repo's reference
+/// machine and committed (like the 94.8 J Table I calibration) so the
+/// precision-energy axis stays deterministic across hosts: bf16 halves
+/// memory traffic at unchanged f32 arithmetic, int8 quadruples operand
+/// density and uses 2-way madd accumulation.
+double precision_throughput_scale(Precision p) noexcept;
+
 /// Raspberry Pi 3B+ running the CNN: calibrated so ResNet18 at 100x100
-/// costs exactly Table I's 94.8 J / 37.6 s.
-DeviceComputeModel rpi_cnn_compute();
+/// costs exactly Table I's 94.8 J / 37.6 s in f32. Reduced precisions
+/// scale throughput by precision_throughput_scale at the same active
+/// power (the vector units stay saturated), so energy drops by the same
+/// factor.
+DeviceComputeModel rpi_cnn_compute(Precision p = Precision::kF32);
 
 /// Cloud server (RTX 2070) running the CNN: calibrated to Table II's
-/// 108 J / 1.0 s at 100x100.
+/// 108 J / 1.0 s at 100x100. Always f32 — the cloud side is GPU-bound
+/// and the paper measures it only at full precision.
 DeviceComputeModel cloud_cnn_compute();
 
 /// Fig 5 energy curve: prediction energy on the Raspberry Pi as a function
-/// of image side (ResNet18 cost model).
-util::Joules edge_cnn_prediction_energy(std::size_t input_side);
+/// of image side (ResNet18 cost model) and inference precision.
+util::Joules edge_cnn_prediction_energy(std::size_t input_side,
+                                        Precision p = Precision::kF32);
 
 }  // namespace beesim::ml

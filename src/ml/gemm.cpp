@@ -3,46 +3,32 @@
 #include <algorithm>
 #include <cstring>
 
+#include "dsp/simd_kernels.hpp"
+
 namespace beesim::ml {
-namespace {
 
-constexpr std::size_t kRowPanel = 4;
-
-/// C panel of `rows` (<= kRowPanel) rows: acc[r][j] over the full K
-/// extent. The j loop is the vector axis; a[r][p] is a broadcast scalar.
-void panel(std::size_t rows, std::size_t n, std::size_t k, const float* a,
-           std::size_t lda, const float* b, const float* bias, float* c) {
-  // Column tiles sized to keep kRowPanel accumulator rows in registers /
-  // L1 while B streams through.
-  constexpr std::size_t kColTile = 64;
-  float acc[kRowPanel][kColTile];
-  for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
-    const std::size_t jn = std::min(kColTile, n - j0);
-    for (std::size_t r = 0; r < rows; ++r)
-      for (std::size_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n + j0;
-      for (std::size_t r = 0; r < rows; ++r) {
-        const float av = a[r * lda + p];
-        for (std::size_t j = 0; j < jn; ++j) acc[r][j] += av * brow[j];
-      }
-    }
-    for (std::size_t r = 0; r < rows; ++r) {
-      float* crow = c + r * n + j0;
-      const float bv = bias[r];
-      for (std::size_t j = 0; j < jn; ++j) crow[j] = bv + acc[r][j];
-    }
-  }
-}
-
-}  // namespace
+// The register-blocked scalar panel kernel that used to live here moved
+// verbatim to dsp/simd_kernels.cpp as the scalar dispatch tier; these
+// wrappers route through the runtime-selected tier (dsp/dispatch.hpp).
+// Every tier is bit-identical, so callers observe no numeric change.
 
 void sgemm_bias(std::size_t m, std::size_t n, std::size_t k, const float* a,
                 const float* b, const float* bias, float* c) {
-  for (std::size_t i0 = 0; i0 < m; i0 += kRowPanel) {
-    const std::size_t rows = std::min(kRowPanel, m - i0);
-    panel(rows, n, k, a + i0 * k, k, b, bias + i0, c + i0 * n);
-  }
+  dsp::kernel_table().sgemm_bias(m, n, k, a, b, bias, c);
+}
+
+void sgemm_bias_bf16(std::size_t m, std::size_t n, std::size_t k,
+                     const std::uint16_t* a, const std::uint16_t* b,
+                     const float* bias, float* c) {
+  dsp::kernel_table().sgemm_bias_bf16(m, n, k, a, b, bias, c);
+}
+
+void sgemm_bias_s8(std::size_t m, std::size_t n, std::size_t k,
+                   const std::int8_t* a, const float* a_scales,
+                   const std::int8_t* b, float b_scale, const float* bias,
+                   float* c) {
+  dsp::kernel_table().sgemm_bias_s8(m, n, k, a, a_scales, b, b_scale, bias,
+                                    c);
 }
 
 void im2col_same(const float* image, std::size_t channels,

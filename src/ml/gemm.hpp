@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ml/tensor.hpp"
@@ -10,12 +11,27 @@ namespace beesim::ml {
 /// Row-major single-precision GEMM with a broadcast row bias:
 ///   C[i, j] = bias[i] + sum_k A[i, k] * B[k, j]
 /// A is (m x k), B is (k x n), C is (m x n, fully overwritten).
-/// Register-blocked: 4-row panels accumulate into local tiles over the
-/// full K extent, so each B row is streamed once per panel and the inner
-/// loop vectorizes. This is the conv fast path's compute kernel.
+/// Dispatched at runtime to the best SIMD tier (dsp/dispatch.hpp); every
+/// tier is bit-identical to the scalar register-blocked reference. This
+/// is the conv fast path's compute kernel.
 void sgemm_bias(std::size_t m, std::size_t n, std::size_t k,
                 const float* a, const float* b, const float* bias,
                 float* c);
+
+/// sgemm_bias with bf16-stored operands (bit patterns per
+/// dsp::f32_to_bf16_bits); products and accumulation stay in f32. Used by
+/// the reduced-precision inference path (ml/precision.hpp).
+void sgemm_bias_bf16(std::size_t m, std::size_t n, std::size_t k,
+                     const std::uint16_t* a, const std::uint16_t* b,
+                     const float* bias, float* c);
+
+/// Symmetric-int8 sgemm_bias: per-row scales for A (weights), one tensor
+/// scale for B (activations), exact i32 accumulation, fused f32
+/// dequantization (see dsp::KernelTable::sgemm_bias_s8).
+void sgemm_bias_s8(std::size_t m, std::size_t n, std::size_t k,
+                   const std::int8_t* a, const float* a_scales,
+                   const std::int8_t* b, float b_scale, const float* bias,
+                   float* c);
 
 /// Lowers one (channels x height x width) image to the im2col matrix of a
 /// stride-1 "same"-padded kernel-sized convolution: row (ic*kernel + ky)

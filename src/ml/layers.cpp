@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/kernel_config.hpp"
+#include "dsp/simd_kernels.hpp"
 #include "ml/gemm.hpp"
 #include "obs/catalog.hpp"
 
@@ -18,6 +19,13 @@ void sgd_update(Tensor& param, Tensor& grad, Tensor& velocity, float lr,
     param[i] += velocity[i];
   }
   grad.fill(0.0f);
+}
+
+void convert_bf16(const float* src, std::size_t count,
+                  std::vector<std::uint16_t>& dst) {
+  dst.resize(count);
+  for (std::size_t i = 0; i < count; ++i)
+    dst[i] = dsp::f32_to_bf16_bits(src[i]);
 }
 
 }  // namespace
@@ -58,13 +66,42 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   if (dsp::kernel_config().gemm_conv) {
     // im2col + GEMM fast path: weights are already laid out as the
     // (out_ch, in_ch*k*k) matrix; the lowered image supplies the
-    // (in_ch*k*k, h*w) right-hand side.
+    // (in_ch*k*k, h*w) right-hand side. Inference may run the GEMM in
+    // reduced precision; training always stays f32 for exact gradients.
+    const Precision prec = train ? Precision::kF32 : inference_precision();
     const std::size_t cols = h * w;
     const std::size_t kdim = in_ch_ * k_ * k_;
+    if (prec != Precision::kF32 && quant_dirty_) {
+      wt_bf16_.clear();
+      wt_s8_ = QuantizedRows{};
+      quant_dirty_ = false;
+    }
+    if (prec == Precision::kBf16 && wt_bf16_.empty())
+      convert_bf16(wt, weights_.size(), wt_bf16_);
+    if (prec == Precision::kInt8 && wt_s8_.values.empty())
+      wt_s8_ = quantize_rows_s8(wt, out_ch_, kdim);
     for (std::size_t b = 0; b < n; ++b) {
       im2col_same(in + b * in_ch_ * cols, in_ch_, h, w, k_, im2col_buf_);
-      sgemm_bias(out_ch_, cols, kdim, wt, im2col_buf_.data(), bias_.data(),
-                 o + b * out_ch_ * cols);
+      float* obatch = o + b * out_ch_ * cols;
+      switch (prec) {
+        case Precision::kF32:
+          sgemm_bias(out_ch_, cols, kdim, wt, im2col_buf_.data(),
+                     bias_.data(), obatch);
+          break;
+        case Precision::kBf16:
+          convert_bf16(im2col_buf_.data(), im2col_buf_.size(), act_bf16_);
+          sgemm_bias_bf16(out_ch_, cols, kdim, wt_bf16_.data(),
+                          act_bf16_.data(), bias_.data(), obatch);
+          break;
+        case Precision::kInt8: {
+          const QuantizedTensor act =
+              quantize_tensor_s8(im2col_buf_.data(), im2col_buf_.size());
+          sgemm_bias_s8(out_ch_, cols, kdim, wt_s8_.values.data(),
+                        wt_s8_.scales.data(), act.values.data(), act.scale,
+                        bias_.data(), obatch);
+          break;
+        }
+      }
     }
     if (obs::enabled()) {
       static auto& flops =
@@ -163,6 +200,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 void Conv2d::sgd_step(float lr, float momentum) {
   sgd_update(weights_, grad_weights_, vel_weights_, lr, momentum);
   sgd_update(bias_, grad_bias_, vel_bias_, lr, momentum);
+  quant_dirty_ = true;
 }
 
 void Conv2d::append_parameters(std::vector<float>& out) const {
@@ -175,6 +213,7 @@ void Conv2d::load_parameters(const float*& cursor) {
   cursor += weights_.size();
   std::copy(cursor, cursor + bias_.size(), bias_.data());
   cursor += bias_.size();
+  quant_dirty_ = true;
 }
 
 // ------------------------------------------------------------------- ReLU
@@ -356,6 +395,41 @@ Tensor Linear::forward(const Tensor& input, bool train) {
     throw std::invalid_argument("Linear: bad input shape");
   const std::size_t n = input.dim(0);
   Tensor out({n, out_});
+  const Precision prec = train ? Precision::kF32 : inference_precision();
+  if (prec != Precision::kF32) {
+    // Transpose the batch to (in, n) so the GEMM contract applies with
+    // the (out, in) weight matrix on the left; the (out, n) product is
+    // transposed back into the row-major output.
+    if (quant_dirty_) {
+      wt_bf16_.clear();
+      wt_s8_ = QuantizedRows{};
+      quant_dirty_ = false;
+    }
+    in_t_.resize(in_ * n);
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t i = 0; i < in_; ++i)
+        in_t_[i * n + b] = input.data()[b * in_ + i];
+    out_t_.resize(out_ * n);
+    if (prec == Precision::kBf16) {
+      if (wt_bf16_.empty())
+        convert_bf16(weights_.data(), weights_.size(), wt_bf16_);
+      convert_bf16(in_t_.data(), in_t_.size(), act_bf16_);
+      sgemm_bias_bf16(out_, n, in_, wt_bf16_.data(), act_bf16_.data(),
+                      bias_.data(), out_t_.data());
+    } else {
+      if (wt_s8_.values.empty())
+        wt_s8_ = quantize_rows_s8(weights_.data(), out_, in_);
+      const QuantizedTensor act =
+          quantize_tensor_s8(in_t_.data(), in_t_.size());
+      sgemm_bias_s8(out_, n, in_, wt_s8_.values.data(),
+                    wt_s8_.scales.data(), act.values.data(), act.scale,
+                    bias_.data(), out_t_.data());
+    }
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t o = 0; o < out_; ++o)
+        out.at2(b, o) = out_t_[o * n + b];
+    return out;
+  }
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t o = 0; o < out_; ++o) {
       float acc = bias_[o];
@@ -394,6 +468,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
 void Linear::sgd_step(float lr, float momentum) {
   sgd_update(weights_, grad_weights_, vel_weights_, lr, momentum);
   sgd_update(bias_, grad_bias_, vel_bias_, lr, momentum);
+  quant_dirty_ = true;
 }
 
 void Linear::append_parameters(std::vector<float>& out) const {
@@ -406,6 +481,7 @@ void Linear::load_parameters(const float*& cursor) {
   cursor += weights_.size();
   std::copy(cursor, cursor + bias_.size(), bias_.data());
   cursor += bias_.size();
+  quant_dirty_ = true;
 }
 
 // ------------------------------------------------------ SoftmaxCrossEntropy

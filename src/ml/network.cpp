@@ -136,13 +136,13 @@ TrainReport train_classifier(Network& net,
   return report;
 }
 
-double evaluate_classifier(Network& net,
-                           const std::vector<dsp::Matrix>& images,
-                           const std::vector<std::size_t>& labels,
-                           std::size_t batch_size) {
-  if (images.size() != labels.size() || images.empty())
-    throw std::invalid_argument("evaluate_classifier: bad dataset");
-  std::size_t correct = 0;
+std::vector<std::size_t> predict_classifier(
+    Network& net, const std::vector<dsp::Matrix>& images,
+    std::size_t batch_size) {
+  if (images.empty() || batch_size == 0)
+    throw std::invalid_argument("predict_classifier: bad arguments");
+  std::vector<std::size_t> out;
+  out.reserve(images.size());
   for (std::size_t start = 0; start < images.size(); start += batch_size) {
     const std::size_t end = std::min(start + batch_size, images.size());
     std::vector<dsp::Matrix> batch(images.begin() +
@@ -151,9 +151,21 @@ double evaluate_classifier(Network& net,
                                        static_cast<std::ptrdiff_t>(end));
     const Tensor logits = net.forward(images_to_tensor(batch), false);
     const auto preds = SoftmaxCrossEntropy::predict(logits);
-    for (std::size_t i = 0; i < preds.size(); ++i)
-      if (preds[i] == labels[start + i]) ++correct;
+    out.insert(out.end(), preds.begin(), preds.end());
   }
+  return out;
+}
+
+double evaluate_classifier(Network& net,
+                           const std::vector<dsp::Matrix>& images,
+                           const std::vector<std::size_t>& labels,
+                           std::size_t batch_size) {
+  if (images.size() != labels.size() || images.empty())
+    throw std::invalid_argument("evaluate_classifier: bad dataset");
+  const auto preds = predict_classifier(net, images, batch_size);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(images.size());
 }
 

@@ -73,6 +73,14 @@ TrainReport train_classifier(Network& net,
                              const std::vector<std::size_t>& labels,
                              const TrainOptions& options = TrainOptions{});
 
+/// Batched multi-clip inference: predicted class per image, running
+/// `batch_size` clips through each forward pass so the dispatched GEMM
+/// kernels see wide (out, batch*h*w) panels. Honors the process-global
+/// ml::inference_precision().
+std::vector<std::size_t> predict_classifier(
+    Network& net, const std::vector<dsp::Matrix>& images,
+    std::size_t batch_size = 32);
+
 /// Accuracy of `net` on a labeled set (batched inference).
 double evaluate_classifier(Network& net,
                            const std::vector<dsp::Matrix>& images,

@@ -41,14 +41,15 @@ void register_catalog(Registry& reg) {
         m::kServeRequestsRejected, m::kServeRequestsCompleted,
         m::kServePointsRequested, m::kServePointsComputed,
         m::kServePointsCoalesced, m::kServeCacheHits, m::kServeCacheMisses,
-        m::kServeCacheEvictions, m::kCkptSaves, m::kCkptRestores,
+        m::kServeCacheEvictions, m::kServeCacheExpirations,
+        m::kCkptSaves, m::kCkptRestores,
         m::kCkptMerges, m::kCkptBytesWritten, m::kCkptBytesRead,
         m::kCkptRejected})
     reg.counter(name);
   for (const char* name :
        {m::kEngineMaxQueueDepth, m::kEnginePoolSlots,
         m::kFleetMaxServersUsed,
-        m::kFleetSweepThreads, m::kDspMelBandNnz,
+        m::kFleetSweepThreads, m::kDspMelBandNnz, m::kDspDispatchIsa,
         m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
         m::kBatteryDischargeJoules, m::kBackoffWaitSeconds,
         m::kFaultBufferPeakBytes, m::kServeQueuePeakDepth})

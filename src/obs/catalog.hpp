@@ -109,6 +109,10 @@ inline constexpr const char* kClientCycleEvaluations =
 inline constexpr const char* kDspFftPlanReuses = "dsp.fft.plan_reuses";
 inline constexpr const char* kDspStftFrames = "dsp.stft.frames";
 inline constexpr const char* kDspMelBandNnz = "dsp.mel.band_nnz";
+// Gauge: active SIMD dispatch tier (dsp/dispatch.hpp IsaTier value —
+// 0 scalar, 1 sse2, 2 avx2), published when the tier is resolved or
+// forced via dsp::set_active_isa.
+inline constexpr const char* kDspDispatchIsa = "dsp.dispatch.isa";
 
 // ml::Conv2d — GEMM convolution fast path.
 inline constexpr const char* kMlConvGemmFlops = "ml.conv.gemm_flops";
@@ -163,6 +167,8 @@ inline constexpr const char* kServeCacheHits = "serve.cache.hits";
 inline constexpr const char* kServeCacheMisses = "serve.cache.misses";
 inline constexpr const char* kServeCacheEvictions =
     "serve.cache.evictions";
+inline constexpr const char* kServeCacheExpirations =
+    "serve.cache.expirations";
 inline constexpr const char* kServeBatchWidth = "serve.batch.width";
 inline constexpr const char* kServeQueuePeakDepth =
     "serve.queue.peak_depth";

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -57,16 +58,34 @@ struct PointKeyHash {
 /// bit-identical to the evicted one (regression-tested), so eviction can
 /// only cost recompute time, never change results. Resident entries are
 /// never mutated after insert.
+///
+/// Entries can additionally carry a time-to-live (`ttl_seconds` > 0):
+/// a lookup that finds an entry older than the TTL expires it lazily —
+/// the entry is dropped, its ring slot is recycled through a free list,
+/// the lookup counts as a miss, and `serve.cache.expirations` (distinct
+/// from capacity evictions) is incremented. Expiry exists for operational
+/// hygiene in long-lived multi-tenant services (bounding how stale a
+/// resident point can get after a config rollout), not for correctness —
+/// the determinism contract makes stale entries bit-identical anyway.
+/// Entries that are never looked up again simply age in place until the
+/// CLOCK hand reaches them.
 class PointCache {
  public:
   /// Default capacity bound: plenty for every figure sweep in the bench
   /// suite while capping resident memory near tens of MB.
   static constexpr std::size_t kDefaultCapacity = 65536;
 
+  /// Monotonic time source in seconds; injectable so tests drive expiry
+  /// deterministically. The default reads std::chrono::steady_clock.
+  using ClockFn = std::function<double()>;
+
   /// `capacity` is the total entry bound across all shards (rounded up
   /// to a multiple of `shards`); 0 disables eviction entirely.
+  /// `ttl_seconds` > 0 expires entries older than that on lookup; 0
+  /// disables expiry. `clock` overrides the time source (tests).
   explicit PointCache(std::size_t shards = 16,
-                      std::size_t capacity = kDefaultCapacity);
+                      std::size_t capacity = kDefaultCapacity,
+                      double ttl_seconds = 0.0, ClockFn clock = {});
 
   /// Sweep-point lookup; counts a hit or miss. Returns true on hit and
   /// copies the point into `out`. A hit marks the entry recently used.
@@ -83,12 +102,14 @@ class PointCache {
   void insert_resilience(const PointKey& key,
                          const core::ResiliencePoint& point);
 
-  /// Point-in-time counters: lifetime hits/misses/evictions and resident
-  /// entries.
+  /// Point-in-time counters: lifetime hits/misses/evictions/expirations
+  /// and resident entries (lazily-expired entries still count as
+  /// resident until a lookup touches them or CLOCK reclaims them).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t expirations = 0;
     std::uint64_t entries = 0;
 
     double hit_ratio() const noexcept {
@@ -105,10 +126,14 @@ class PointCache {
   std::vector<std::size_t> shard_occupancy() const;
 
   std::size_t capacity() const noexcept { return capacity_; }
+  double ttl_seconds() const noexcept { return ttl_seconds_; }
 
  private:
-  /// Which per-shard map owns a CLOCK slot's key.
-  enum class Kind : std::uint8_t { kSweep, kResilience };
+  /// Which per-shard map owns a CLOCK slot's key. kFree slots belong to
+  /// the shard's free list (recycled by expiry) and are invisible to the
+  /// CLOCK hand — claim_slot drains the free list before sweeping, so a
+  /// sweeping hand never encounters one.
+  enum class Kind : std::uint8_t { kSweep, kResilience, kFree };
 
   /// One CLOCK ring slot: the resident key, its owning map, and the
   /// second-chance reference bit the hand clears as it sweeps.
@@ -119,11 +144,13 @@ class PointCache {
   };
 
   /// Map values carry the slot index so hits can set the reference bit
-  /// and evictions can erase the victim without a second lookup.
+  /// and evictions can erase the victim without a second lookup, plus
+  /// the insertion timestamp the TTL check compares against.
   template <typename Point>
   struct Entry {
     Point point;
     std::size_t slot = 0;
+    double inserted_at = 0.0;
   };
 
   struct Shard {
@@ -134,6 +161,7 @@ class PointCache {
         resilience;
     std::vector<Slot> ring;  // grows to the per-shard capacity, then CLOCK
     std::size_t hand = 0;
+    std::vector<std::size_t> free_slots;  // ring indices freed by expiry
   };
 
   /// Shard selector: the bucket hash pushed through a splitmix64-style
@@ -151,16 +179,32 @@ class PointCache {
     return *shards_[shard_mix(PointKeyHash{}(key)) % shards_.size()];
   }
 
-  /// Returns the ring slot for a new entry, evicting the CLOCK victim
-  /// first when the shard is at capacity. Caller holds the shard mutex.
+  /// Returns the ring slot for a new entry: recycles an expired slot if
+  /// one is free, else grows the ring, else evicts the CLOCK victim.
+  /// Caller holds the shard mutex.
   std::size_t claim_slot(Shard& shard, const PointKey& key, Kind kind);
+
+  /// True if `inserted_at` has outlived the TTL at time `now`.
+  bool expired(double inserted_at, double now) const noexcept {
+    return ttl_seconds_ > 0.0 && now - inserted_at >= ttl_seconds_;
+  }
+
+  /// Releases an expired entry's ring slot onto the free list and counts
+  /// the expiration. Caller holds the shard mutex and erases the map
+  /// entry itself.
+  void expire_slot(Shard& shard, std::size_t slot) const;
+
+  double now() const { return clock_(); }
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t capacity_ = 0;            // total bound, 0 = unbounded
   std::size_t per_shard_capacity_ = 0;  // 0 = unbounded
+  double ttl_seconds_ = 0.0;            // 0 = no expiry
+  ClockFn clock_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> expirations_{0};
 };
 
 }  // namespace beesim::serve

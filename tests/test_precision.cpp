@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "dsp/simd_kernels.hpp"
+#include "ml/gemm.hpp"
+#include "ml/layers.hpp"
+#include "ml/precision.hpp"
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+// Properties of the reduced-precision inference types: bf16
+// round-to-nearest-even conversion, symmetric int8 quantization with
+// bounded roundtrip error, and the layer forward paths that consume them.
+
+namespace ml = beesim::ml;
+namespace dsp = beesim::dsp;
+using beesim::util::Rng;
+
+namespace {
+
+/// Restores the process-global inference precision on scope exit.
+class PrecisionGuard {
+ public:
+  PrecisionGuard() : saved_(ml::inference_precision()) {}
+  ~PrecisionGuard() { ml::set_inference_precision(saved_); }
+
+ private:
+  ml::Precision saved_;
+};
+
+float bf16_roundtrip(float f) {
+  return dsp::bf16_bits_to_f32(dsp::f32_to_bf16_bits(f));
+}
+
+}  // namespace
+
+TEST(Precision, Names) {
+  EXPECT_EQ(ml::precision_from_name("f32"), ml::Precision::kF32);
+  EXPECT_EQ(ml::precision_from_name("bf16"), ml::Precision::kBf16);
+  EXPECT_EQ(ml::precision_from_name("int8"), ml::Precision::kInt8);
+  EXPECT_THROW(ml::precision_from_name("fp16"), std::invalid_argument);
+  EXPECT_STREQ(ml::precision_name(ml::Precision::kF32), "f32");
+  EXPECT_STREQ(ml::precision_name(ml::Precision::kBf16), "bf16");
+  EXPECT_STREQ(ml::precision_name(ml::Precision::kInt8), "int8");
+}
+
+TEST(Precision, GlobalDefaultsToF32) {
+  EXPECT_EQ(ml::inference_precision(), ml::Precision::kF32);
+  PrecisionGuard guard;
+  ml::set_inference_precision(ml::Precision::kBf16);
+  EXPECT_EQ(ml::inference_precision(), ml::Precision::kBf16);
+}
+
+TEST(Bf16, ExactlyRepresentableRoundTrips) {
+  // Values with <= 8 significand bits are bf16-exact: conversion must be
+  // the identity on them.
+  for (float f : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 96.0f, -0.375f,
+                  1.0f / 256.0f, 3.140625f}) {
+    const float back = bf16_roundtrip(f);
+    EXPECT_EQ(std::memcmp(&back, &f, sizeof f), 0) << f;
+  }
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16_roundtrip(inf), inf);
+  EXPECT_EQ(bf16_roundtrip(-inf), -inf);
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1 + 2^-9 sits exactly between bf16 neighbours 1.0 and 1 + 2^-8;
+  // nearest-even resolves it down to 1.0. 1 + 3*2^-9 resolves up.
+  EXPECT_EQ(bf16_roundtrip(1.0f + 0x1p-9f), 1.0f);
+  EXPECT_EQ(bf16_roundtrip(1.0f + 3 * 0x1p-9f), 1.0f + 0x1p-7f);
+  // Relative error of rounding is bounded by 2^-8.
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = static_cast<float>(rng.normal(0.0, 100.0));
+    EXPECT_LE(std::fabs(bf16_roundtrip(f) - f), std::fabs(f) * 0x1p-8f);
+  }
+}
+
+TEST(Bf16, NaNStaysQuietNaN) {
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(bf16_roundtrip(qnan)));
+  // A signalling payload entirely in the low 16 bits must not truncate
+  // to an infinity bit pattern.
+  std::uint32_t bits = 0x7f800001u;  // sNaN with low-bits-only payload
+  float snan;
+  std::memcpy(&snan, &bits, sizeof snan);
+  EXPECT_TRUE(std::isnan(bf16_roundtrip(snan)));
+}
+
+TEST(Bf16, BufferConvertersMatchScalar) {
+  Rng rng(11);
+  std::vector<float> xs(257);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0.0, 10.0));
+  const auto packed = ml::to_bf16(xs.data(), xs.size());
+  ASSERT_EQ(packed.size(), xs.size());
+  const auto back = ml::from_bf16(packed.data(), packed.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(packed[i], dsp::f32_to_bf16_bits(xs[i]));
+    EXPECT_EQ(back[i], bf16_roundtrip(xs[i]));
+  }
+}
+
+TEST(Int8, RowQuantizationRoundTripBounded) {
+  Rng rng(77);
+  const std::size_t rows = 7, cols = 53;
+  std::vector<float> data(rows * cols);
+  for (auto& x : data) x = static_cast<float>(rng.normal(0.0, 4.0));
+  const auto q = ml::quantize_rows_s8(data.data(), rows, cols);
+  ASSERT_EQ(q.values.size(), data.size());
+  ASSERT_EQ(q.scales.size(), rows);
+  const auto back = ml::dequantize_rows_s8(q, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float maxabs = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c)
+      maxabs = std::max(maxabs, std::fabs(data[r * cols + c]));
+    EXPECT_FLOAT_EQ(q.scales[r], maxabs / 127.0f);
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Nearest rounding keeps each element within half a step.
+      EXPECT_LE(std::fabs(back[r * cols + c] - data[r * cols + c]),
+                q.scales[r] * 0.5f + 1e-7f)
+          << "row " << r << " col " << c;
+      EXPECT_GE(q.values[r * cols + c], -127);
+      EXPECT_LE(q.values[r * cols + c], 127);
+    }
+  }
+}
+
+TEST(Int8, ZeroRowGetsZeroScale) {
+  std::vector<float> data(8, 0.0f);
+  const auto q = ml::quantize_rows_s8(data.data(), 2, 4);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  EXPECT_EQ(q.scales[1], 0.0f);
+  const auto back = ml::dequantize_rows_s8(q, 2, 4);
+  for (float v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Int8, TensorQuantizationRoundTripBounded) {
+  Rng rng(13);
+  std::vector<float> data(301);
+  for (auto& x : data) x = static_cast<float>(rng.uniform(-6.0, 6.0));
+  const auto q = ml::quantize_tensor_s8(data.data(), data.size());
+  ASSERT_EQ(q.values.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float back = static_cast<float>(q.values[i]) * q.scale;
+    EXPECT_LE(std::fabs(back - data[i]), q.scale * 0.5f + 1e-7f);
+  }
+}
+
+TEST(Int8, QuantizedGemmTracksF32) {
+  // End-to-end error of quantize -> int8 GEMM -> dequantize against the
+  // f32 GEMM stays within the linear error budget: each product's error
+  // is bounded by half a step per operand, k products accumulate.
+  Rng rng(2468);
+  const std::size_t m = 6, n = 40, k = 30;
+  std::vector<float> a(m * k), b(k * n), bias(m);
+  for (auto& x : a) x = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& x : b) x = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& x : bias) x = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<float> want(m * n), got(m * n);
+  ml::sgemm_bias(m, n, k, a.data(), b.data(), bias.data(), want.data());
+  const auto qa = ml::quantize_rows_s8(a.data(), m, k);
+  const auto qb = ml::quantize_tensor_s8(b.data(), b.size());
+  ml::sgemm_bias_s8(m, n, k, qa.values.data(), qa.scales.data(),
+                    qb.values.data(), qb.scale, bias.data(), got.data());
+  for (std::size_t i = 0; i < m * n; ++i) {
+    const float budget =
+        static_cast<float>(k) *
+            (qa.scales[i / n] * 0.5f * 127.0f * qb.scale +
+             qb.scale * 0.5f * 127.0f * qa.scales[i / n]) +
+        1e-4f;
+    EXPECT_LE(std::fabs(got[i] - want[i]), budget) << i;
+  }
+  // And it should be a decent approximation in practice, not just within
+  // the worst-case budget.
+  double rms = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < m * n; ++i) {
+    rms += (got[i] - want[i]) * (got[i] - want[i]);
+    ref += want[i] * want[i];
+  }
+  EXPECT_LE(std::sqrt(rms / static_cast<double>(m * n)),
+            0.05 * std::sqrt(ref / static_cast<double>(m * n)));
+}
+
+TEST(Precision, LinearForwardTracksF32) {
+  PrecisionGuard guard;
+  Rng rng(100);
+  ml::Linear layer(24, 10, rng);
+  ml::Tensor input({5, 24});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+  ml::set_inference_precision(ml::Precision::kF32);
+  const ml::Tensor f32_out = layer.forward(input, /*train=*/false);
+
+  ml::set_inference_precision(ml::Precision::kBf16);
+  const ml::Tensor bf16_out = layer.forward(input, false);
+  ASSERT_TRUE(f32_out.same_shape(bf16_out));
+  for (std::size_t i = 0; i < f32_out.size(); ++i)
+    EXPECT_NEAR(bf16_out[i], f32_out[i],
+                0.02f * std::max(1.0f, std::fabs(f32_out[i])));
+
+  ml::set_inference_precision(ml::Precision::kInt8);
+  const ml::Tensor s8_out = layer.forward(input, false);
+  ASSERT_TRUE(f32_out.same_shape(s8_out));
+  for (std::size_t i = 0; i < f32_out.size(); ++i)
+    EXPECT_NEAR(s8_out[i], f32_out[i],
+                0.05f * std::max(1.0f, std::fabs(f32_out[i])));
+}
+
+TEST(Precision, Conv2dForwardTracksF32) {
+  PrecisionGuard guard;
+  Rng rng(200);
+  ml::Conv2d layer(2, 4, 3, rng);
+  ml::Tensor input({2, 2, 9, 9});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+  ml::set_inference_precision(ml::Precision::kF32);
+  const ml::Tensor f32_out = layer.forward(input, false);
+
+  ml::set_inference_precision(ml::Precision::kBf16);
+  const ml::Tensor bf16_out = layer.forward(input, false);
+  ASSERT_TRUE(f32_out.same_shape(bf16_out));
+  for (std::size_t i = 0; i < f32_out.size(); ++i)
+    EXPECT_NEAR(bf16_out[i], f32_out[i],
+                0.02f * std::max(1.0f, std::fabs(f32_out[i])));
+
+  ml::set_inference_precision(ml::Precision::kInt8);
+  const ml::Tensor s8_out = layer.forward(input, false);
+  ASSERT_TRUE(f32_out.same_shape(s8_out));
+  for (std::size_t i = 0; i < f32_out.size(); ++i)
+    EXPECT_NEAR(s8_out[i], f32_out[i],
+                0.05f * std::max(1.0f, std::fabs(f32_out[i])));
+}
+
+TEST(Precision, TrainingIgnoresInferencePrecision) {
+  // train=true must take the f32 path regardless of the global setting —
+  // gradients are always f32.
+  PrecisionGuard guard;
+  Rng rng(300);
+  ml::Linear layer(8, 4, rng);
+  ml::Tensor input({3, 8});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  ml::set_inference_precision(ml::Precision::kF32);
+  const ml::Tensor want = layer.forward(input, /*train=*/true);
+  ml::set_inference_precision(ml::Precision::kInt8);
+  const ml::Tensor got = layer.forward(input, /*train=*/true);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(want[i], got[i]);
+}

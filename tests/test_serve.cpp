@@ -623,3 +623,109 @@ TEST(PointCache, ShardSelectionIsNearUniform) {
         << "shard " << s << " overloaded";
   }
 }
+
+TEST(PointCache, TtlExpiresOnLookupAndCountsSeparately) {
+  // Injected clock: entries older than the TTL expire lazily on lookup,
+  // counted as expirations (not evictions) and as misses.
+  double now = 0.0;
+  serve::PointCache cache(1, 8, /*ttl_seconds=*/10.0,
+                          [&now] { return now; });
+  EXPECT_DOUBLE_EQ(cache.ttl_seconds(), 10.0);
+  const serve::PointKey key{core::Hash128{3, 4}, 200};
+  core::SweepPoint point;
+  point.initial_clients = 200;
+  cache.insert_sweep(key, point);
+
+  core::SweepPoint out;
+  now = 9.99;  // just inside the TTL: still a hit
+  ASSERT_TRUE(cache.lookup_sweep(key, &out));
+  EXPECT_EQ(out.initial_clients, 200);
+
+  now = 10.0;  // now - inserted_at == ttl: expired
+  EXPECT_FALSE(cache.lookup_sweep(key, &out));
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.evictions, 0u);  // expiry is not a capacity eviction
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);  // the expired lookup counts as a miss
+
+  // The freed ring slot is recycled: a new insert reuses it and the
+  // re-inserted entry gets a fresh timestamp.
+  cache.insert_sweep(key, point);
+  ASSERT_TRUE(cache.lookup_sweep(key, &out));
+  now = 19.0;  // 9 s after re-insert: still fresh
+  ASSERT_TRUE(cache.lookup_sweep(key, &out));
+  now = 25.0;
+  EXPECT_FALSE(cache.lookup_sweep(key, &out));
+  EXPECT_EQ(cache.stats().expirations, 2u);
+}
+
+TEST(PointCache, TtlZeroNeverExpires) {
+  double now = 0.0;
+  serve::PointCache cache(1, 8, /*ttl_seconds=*/0.0,
+                          [&now] { return now; });
+  const serve::PointKey key{core::Hash128{5, 6}, 300};
+  core::SweepPoint point;
+  cache.insert_sweep(key, point);
+  now = 1e12;  // thirty thousand years later
+  core::SweepPoint out;
+  EXPECT_TRUE(cache.lookup_sweep(key, &out));
+  EXPECT_EQ(cache.stats().expirations, 0u);
+}
+
+TEST(PointCache, TtlExpiryComposesWithClockEviction) {
+  // Expired slots go through the free list, invisible to the CLOCK hand;
+  // capacity eviction keeps working on the remaining residents, and the
+  // two counters never mix.
+  double now = 0.0;
+  serve::PointCache cache(1, 4, /*ttl_seconds=*/5.0,
+                          [&now] { return now; });
+  core::SweepPoint point;
+  for (int i = 0; i < 4; ++i) {
+    const serve::PointKey key{
+        core::Hash128{static_cast<std::uint64_t>(i), 8}, i};
+    cache.insert_sweep(key, point);
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+
+  // Expire two of the four; their slots land on the free list.
+  now = 6.0;
+  core::SweepPoint out;
+  for (int i = 0; i < 2; ++i) {
+    const serve::PointKey key{
+        core::Hash128{static_cast<std::uint64_t>(i), 8}, i};
+    EXPECT_FALSE(cache.lookup_sweep(key, &out));
+  }
+  EXPECT_EQ(cache.stats().expirations, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // The next two inserts recycle the freed slots (no evictions yet);
+  // the one after that is back at capacity and must evict via CLOCK.
+  for (int i = 10; i < 13; ++i) {
+    const serve::PointKey key{
+        core::Hash128{static_cast<std::uint64_t>(i), 9}, i};
+    cache.insert_sweep(key, point);
+    if (i < 12) {
+      EXPECT_EQ(cache.stats().evictions, 0u) << "insert " << i;
+    }
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.stats().expirations, 2u);
+}
+
+TEST(PointCache, TtlAppliesToResiliencePoints) {
+  double now = 0.0;
+  serve::PointCache cache(1, 8, /*ttl_seconds=*/3.0,
+                          [&now] { return now; });
+  const serve::PointKey key{core::Hash128{9, 9}, 50};
+  core::ResiliencePoint point;
+  cache.insert_resilience(key, point);
+  core::ResiliencePoint out;
+  ASSERT_TRUE(cache.lookup_resilience(key, &out));
+  now = 3.5;
+  EXPECT_FALSE(cache.lookup_resilience(key, &out));
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
