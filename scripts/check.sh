@@ -31,18 +31,22 @@
 #       EXPERIMENTS.md and docs/*.md resolves to an existing file;
 #    b. every top-level directory under src/ is mentioned in
 #       docs/ARCHITECTURE.md (the paper↔code map must stay complete);
-#    c. every public class/struct in the src/fault and src/serve headers
-#       and the checkpoint-layer headers (core/fleet_columns.hpp,
-#       core/checkpoint.hpp, util/mmap.hpp) carries a /// doc comment
-#       (the resilience, serving and resumability stories must stay
+#    c. every public class/struct in the src/fault and src/serve headers,
+#       the checkpoint-layer headers (core/fleet_columns.hpp,
+#       core/checkpoint.hpp, util/mmap.hpp) and the orchestration headers
+#       (core/orchestrator.hpp, core/placement.hpp,
+#       core/placement_search.hpp) carries a /// doc comment (the
+#       resilience, serving, resumability and placement stories must stay
 #       documented).
 #
 # Opt-in steps:
-#   --bench     run des_microbench + scale_fleet + kernels_microbench
-#               and write the headline numbers to BENCH_des.json at the
-#               repo root (perf trajectory across PRs), including the
-#               per-tier / per-precision GEMM kernel throughput and the
-#               avx2-vs-scalar and int8/bf16-vs-f32 speedup ratios.
+#   --bench     run des_microbench + scale_fleet + kernels_microbench +
+#               placement_search and write the headline numbers to
+#               BENCH_des.json at the repo root (perf trajectory across
+#               PRs), including the per-tier / per-precision GEMM kernel
+#               throughput, the avx2-vs-scalar and int8/bf16-vs-f32
+#               speedup ratios, and the greedy-vs-beam placement energy
+#               on the fig7 crossover fleet under a cloud-outage plan.
 #   --sanitize  configure a second build tree (<build-dir>-san) with
 #               -DBEESIM_SANITIZE=address,undefined and run the
 #               sim/fault/net/checkpoint/simd/precision test binaries
@@ -244,6 +248,15 @@ if [ "$run_bench" -eq 1 ]; then
     's/.*restore: *\([0-9.]*\) ms.*/\1/p' "$tmp/ckpt.txt")"
   echo "  checkpoint: soa ${ckpt_speedup}x," \
        "farm save ${ckpt_save_ms} ms / restore ${ckpt_restore_ms} ms"
+  "$repo/$build/bench/placement_search" > "$tmp/placement.txt"
+  placement_greedy="$(sed -n \
+    's/.*greedy_j_per_cycle=\([0-9.]*\).*/\1/p' "$tmp/placement.txt")"
+  placement_beam="$(sed -n \
+    's/.*beam_j_per_cycle=\([0-9.]*\).*/\1/p' "$tmp/placement.txt")"
+  placement_saving="$(sed -n \
+    's/.*saving_pct=\([0-9.-]*\).*/\1/p' "$tmp/placement.txt")"
+  echo "  placement: greedy ${placement_greedy} J/cycle vs beam" \
+       "${placement_beam} J/cycle (${placement_saving}% saved)"
   jq -n \
     --slurpfile des "$tmp/des.json" \
     --slurpfile kern "$tmp/kernels.json" \
@@ -251,11 +264,17 @@ if [ "$run_bench" -eq 1 ]; then
     --arg cks "$ckpt_speedup" \
     --arg cksave "$ckpt_save_ms" \
     --arg ckrestore "$ckpt_restore_ms" \
+    --arg plg "$placement_greedy" \
+    --arg plb "$placement_beam" \
+    --arg pls "$placement_saving" \
     '{des: $des[0],
       scale_fleet_hives_per_sec: ($hps | tonumber),
       checkpoint: {soa_speedup: ($cks | tonumber),
                    farm_save_ms: ($cksave | tonumber),
                    farm_restore_ms: ($ckrestore | tonumber)},
+      placement: {greedy_j_per_cycle: ($plg | tonumber),
+                  beam_j_per_cycle: ($plb | tonumber),
+                  saving_pct: ($pls | tonumber)},
       kernels: [$kern[0].benchmarks[]
                 | {name, real_time, time_unit}],
       gemm: ($kern[0].benchmarks
@@ -287,9 +306,9 @@ if [ "$run_sanitize" -eq 1 ]; then
     -DBEESIM_SANITIZE=address,undefined > /dev/null
   cmake --build "$repo/$build-san" -j \
     --target test_sim test_fault test_net test_checkpoint \
-             test_simd test_precision > /dev/null
+             test_simd test_precision test_placement_search > /dev/null
   for t in test_sim test_fault test_net test_checkpoint \
-           test_simd test_precision; do
+           test_simd test_precision test_placement_search; do
     if "$repo/$build-san/tests/$t" --gtest_brief=1 > "$tmp/$t.san.log" 2>&1
     then
       echo "  ok  $t clean under address,undefined"
@@ -331,6 +350,9 @@ echo "== docs: fault/serve/checkpoint public types carry /// doc comments =="
 for hdr in "$repo"/src/fault/*.hpp "$repo"/src/serve/*.hpp \
            "$repo"/src/core/fleet_columns.hpp \
            "$repo"/src/core/checkpoint.hpp \
+           "$repo"/src/core/orchestrator.hpp \
+           "$repo"/src/core/placement.hpp \
+           "$repo"/src/core/placement_search.hpp \
            "$repo"/src/util/mmap.hpp; do
   # Every class/struct declared at column 0 must be directly preceded by
   # a Doxygen-style /// line (possibly via other /// lines above it; a

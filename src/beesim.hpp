@@ -59,6 +59,7 @@
 #include "core/network_sim.hpp"
 #include "core/orchestrator.hpp"
 #include "core/placement.hpp"
+#include "core/placement_search.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "core/server.hpp"

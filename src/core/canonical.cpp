@@ -26,6 +26,8 @@ enum : std::uint8_t {
   kTagFaultWindow = 0x06,
   kTagFaultPlan = 0x07,
   kTagPolicy = 0x08,
+  kTagDeviceClass = 0x09,
+  kTagSearchOptions = 0x0a,
 };
 
 }  // namespace
@@ -127,6 +129,27 @@ void hash_append(CanonicalHasher& h, const fault::FaultPlan& plan) {
   for (const auto& window : plan.windows()) hash_append(h, window);
 }
 
+void hash_append(CanonicalHasher& h, const DeviceClassSpec& cls) {
+  h.tag(kTagDeviceClass);
+  h.str(cls.name);
+  h.i64(cls.count);
+  h.f64(cls.compute_scale);
+  h.f64(cls.energy_scale);
+  h.f64(cls.battery_soc);
+  h.f64(cls.link_quality);
+}
+
+void hash_append(CanonicalHasher& h, const FleetSearchOptions& options) {
+  h.tag(kTagSearchOptions);
+  h.i64(options.beam_width);
+  h.i64(options.max_frontier);
+  h.i64(options.max_cloud_servers);
+  h.boolean(options.cloud_available);
+  h.f64(options.loss_weight_j_per_mb);
+  h.f64(options.soc_floor);
+  h.boolean(options.use_dp_bound);
+}
+
 void hash_append(CanonicalHasher& h, const ResiliencePolicy& policy) {
   h.tag(kTagPolicy);
   h.boolean(policy.edge_fallback);
@@ -136,6 +159,11 @@ void hash_append(CanonicalHasher& h, const ResiliencePolicy& policy) {
   h.f64(policy.upload_bytes_per_client);
   h.f64(policy.upload_energy_per_payload);
   h.f64(policy.catchup_factor);
+  h.i64(static_cast<std::int64_t>(policy.optimizer));
+  h.u64(policy.classes.size());
+  for (const auto& cls : policy.classes) hash_append(h, cls);
+  h.f64(policy.outage_loss_tolerance);
+  hash_append(h, policy.search);
 }
 
 Hash128 canonical_hash(const FleetParams& params) {

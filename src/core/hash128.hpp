@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace beesim::core {
+
+/// 128-bit content hash used as the identity of a simulation scenario.
+/// Two scenarios with equal hashes are treated as the same computation by
+/// the serving layer's content-addressed cache (docs/SERVING.md), so the
+/// hash is built from the exact bit patterns of every parameter — if the
+/// hashes match, replaying the computation produces bit-identical results.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) noexcept {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Hash128& a, const Hash128& b) noexcept {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// "hhhhhhhhhhhhhhhh.llllllllllllllll" hex form for logs and cache keys.
+  std::string to_string() const;
+};
+
+/// Streaming canonical hasher: two independent 64-bit streams (FNV-1a and
+/// a splitmix64 chain) over a tagged, length-prefixed byte serialization.
+/// Canonical means: every field is appended in a fixed order behind a
+/// field tag, variable-length data is length-prefixed, and doubles are
+/// hashed by bit pattern (not value), so two parameter sets hash equal
+/// only when they are byte-for-byte the same configuration. The tag bytes
+/// make field boundaries unambiguous — adjacent fields can never alias.
+class CanonicalHasher {
+ public:
+  /// Appends a one-byte structure/field tag.
+  void tag(std::uint8_t t) noexcept { byte(t); }
+  /// Appends a 64-bit unsigned value (little-endian canonical form).
+  void u64(std::uint64_t v) noexcept;
+  /// Appends a signed integer through its two's-complement 64-bit form.
+  void i64(std::int64_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+  /// Appends a double by bit pattern. Deliberately distinguishes -0.0
+  /// from +0.0 and every NaN payload: identical hash must mean identical
+  /// bits fed to the simulator, never merely "numerically equal".
+  void f64(double v) noexcept;
+  /// Appends a bool as one byte (0/1).
+  void boolean(bool v) noexcept { byte(v ? 1 : 0); }
+  /// Appends a string, length-prefixed.
+  void str(std::string_view s) noexcept;
+  /// Appends raw bytes (no length prefix — callers prefix themselves).
+  void bytes(const void* data, std::size_t n) noexcept;
+
+  /// The 128-bit digest of everything appended so far.
+  Hash128 digest() const noexcept { return {a_, b_}; }
+
+ private:
+  void byte(std::uint8_t b) noexcept;
+
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t b_ = 0x9e3779b97f4a7c15ULL;  // splitmix64 chain seed
+};
+
+}  // namespace beesim::core

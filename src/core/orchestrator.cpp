@@ -1,6 +1,7 @@
 #include "core/orchestrator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -15,8 +16,13 @@ namespace cal = device::cal;
 
 ServiceOrchestrator::ServiceOrchestrator(const OrchestratorOptions& options)
     : options_(options) {
+  // <= comparisons alone let NaN slip through (every comparison with NaN
+  // is false), so finiteness is checked explicitly.
   if (options_.clients < 1 || options_.max_parallel < 1 ||
-      options_.cycle <= 0.0 || options_.slot_uplink_bytes_per_s <= 0.0 ||
+      !std::isfinite(options_.cycle) || options_.cycle <= 0.0 ||
+      !std::isfinite(options_.slot_uplink_bytes_per_s) ||
+      options_.slot_uplink_bytes_per_s <= 0.0 ||
+      !std::isfinite(options_.edge_joule_weight) ||
       options_.edge_joule_weight <= 0.0)
     throw std::invalid_argument("ServiceOrchestrator: invalid options");
 }

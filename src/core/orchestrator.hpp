@@ -27,6 +27,10 @@ struct OrchestrationCosts {
   }
 };
 
+/// Shared knobs of the multi-service placement evaluation. Validated by
+/// ServiceOrchestrator's constructor: clients and max_parallel >= 1,
+/// cycle / uplink / weight finite and positive (std::invalid_argument
+/// otherwise — NaN is rejected, not silently accepted).
 struct OrchestratorOptions {
   int clients = 100;
   int max_parallel = 10;

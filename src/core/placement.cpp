@@ -1,11 +1,20 @@
 #include "core/placement.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace beesim::core {
 namespace {
 
 FleetParams make_fleet(const PlacementAdvisor::Options& options) {
+  // Validate before the simulator is built: a zero max_parallel or a NaN
+  // cycle used to be silently accepted and surface as nonsense numbers
+  // (or a divide-by-zero) much later.
+  if (options.max_parallel < 1)
+    throw std::invalid_argument("PlacementAdvisor: max_parallel < 1");
+  if (!std::isfinite(options.cycle) || options.cycle <= 0.0)
+    throw std::invalid_argument(
+        "PlacementAdvisor: cycle must be finite and positive");
   FleetParams fleet = FleetParams::paper_default(
       options.service, options.max_parallel, options.cycle);
   fleet.policy = options.policy;

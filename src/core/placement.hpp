@@ -24,6 +24,8 @@ struct PlacementComparison {
 /// LossConfig with A/B enabled to study the degraded regimes.
 class PlacementAdvisor {
  public:
+  /// Validated by the constructor: max_parallel >= 1 and a finite,
+  /// positive cycle (std::invalid_argument otherwise).
   struct Options {
     ServiceModel service = ServiceModel::kCnn;
     int max_parallel = 10;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hive/services.hpp"
 #include "obs/catalog.hpp"
 #include "util/parallel.hpp"
 
@@ -46,10 +47,56 @@ ResilientFleet::ResilientFleet(FleetParams params, fault::FaultPlan plan,
     throw std::invalid_argument("ResilientFleet: negative upload energy");
   if (policy_.catchup_factor < 0.0)
     throw std::invalid_argument("ResilientFleet: negative catchup factor");
+  if (!std::isfinite(policy_.outage_loss_tolerance) ||
+      policy_.outage_loss_tolerance < 0.0 ||
+      policy_.outage_loss_tolerance > 1.0)
+    throw std::invalid_argument(
+        "ResilientFleet: outage_loss_tolerance outside [0, 1]");
+  policy_.search.validate();
+  for (const auto& cls : policy_.classes) cls.validate();
   edge_fallback_energy_ =
       ClientSpec::smart_beehive(Placement::kEdgeOnly, service,
                                 base_.params().client.period)
           .cycle_energy();
+  // Beam optimizer: decide the outage reaction once, at construction.
+  // The search runs over the policy's device classes with the cloud
+  // marked unavailable (the outage regime) and the single fallback
+  // service; the cheapest frontier point within the loss tolerance tells
+  // us which fleet fraction sleeps instead of running local inference.
+  // All the greedy-identical regimes (kGreedy, no classes, tolerance 0)
+  // leave the fraction at 0, and the per-cycle path below never branches
+  // — the empty-plan bit-identity contract is untouched.
+  if (policy_.optimizer == PlacementOptimizer::kBeam &&
+      policy_.edge_fallback && !policy_.classes.empty() &&
+      policy_.outage_loss_tolerance > 0.0) {
+    const hive::ServiceSpec fallback_service =
+        service == ServiceModel::kCnn
+            ? hive::services::queen_detection_cnn()
+            : hive::services::queen_detection_svm();
+    OrchestratorOptions base_opts;
+    base_opts.max_parallel = base_.params().server.max_parallel;
+    base_opts.cycle = base_.params().client.period;
+    FleetSearchOptions search = policy_.search;
+    search.cloud_available = false;  // nothing reaches the cloud anyway
+    PlacementSearch optimizer(policy_.classes, {fallback_service},
+                              base_opts, search);
+    const ParetoFrontier frontier = optimizer.search();
+    if (const FleetAssignment* pick =
+            frontier.points.empty()
+                ? nullptr
+                : frontier.min_energy(policy_.outage_loss_tolerance)) {
+      double total = 0.0;
+      double shed = 0.0;
+      for (std::size_t c = 0; c < policy_.classes.size(); ++c) {
+        const double count =
+            static_cast<double>(policy_.classes[c].count);
+        total += count;
+        if (pick->at(static_cast<int>(c), 0, 1) == Assignment::kShed)
+          shed += count;
+      }
+      if (total > 0.0) outage_shed_fraction_ = shed / total;
+    }
+  }
   // Build the reduced-capacity siblings once: one simulator per distinct
   // (capacity, bandwidth) factor pair the plan ever produces. A degraded
   // geometry that cannot fit a single slot in the cycle throws here —
@@ -178,8 +225,21 @@ void ResilientFleet::simulate_faulted_cycle(
     // look the same from the apiary).
     // 3. Loss model C still applies to the remaining awake clients.
     lost = base_.params().loss.draw_lost_clients(remaining, rng);
-    const int active = remaining - lost;
+    int active = remaining - lost;
     edge += static_cast<double>(lost) * client.sleep_cycle_energy();
+    if (outage_shed_fraction_ > 0.0) {
+      // Beam-optimizer verdict (decided at construction): this fleet
+      // fraction sleeps through the outage instead of burning fallback
+      // inference energy — their payloads are never produced (lost).
+      const int opt_shed = std::clamp(
+          static_cast<int>(std::lround(outage_shed_fraction_ *
+                                       static_cast<double>(active))),
+          0, active);
+      edge += static_cast<double>(opt_shed) * client.sleep_cycle_energy();
+      point.shed_client_cycles += opt_shed;
+      point.bytes_lost += static_cast<double>(opt_shed) * upload;
+      active -= opt_shed;
+    }
     const double offered = static_cast<double>(active) * upload;
     point.bytes_generated += offered;
     // 4a. Placement: keep the service alive locally and/or queue the

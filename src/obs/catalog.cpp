@@ -34,7 +34,9 @@ void register_catalog(Registry& reg) {
         m::kFaultBufferEnqueuedBytes, m::kFaultBufferDroppedBytes,
         m::kFleetDegradedCycles, m::kFleetShedClients,
         m::kFleetEdgeFallbackCycles, m::kOrchestratorDegradedPlans,
-        m::kOrchestratorServicesShed, m::kBatteryChargeEvents,
+        m::kOrchestratorServicesShed, m::kPlacementSearches,
+        m::kPlacementCandidatesExpanded, m::kPlacementCandidatesPruned,
+        m::kPlacementEvaluations, m::kBatteryChargeEvents,
         m::kBatteryDischargeEvents, m::kBatteryDepletions,
         m::kBatteryDerateEvents, m::kMeterStateChanges,
         m::kServeRequestsSubmitted, m::kServeRequestsAdmitted,
@@ -52,7 +54,8 @@ void register_catalog(Registry& reg) {
         m::kFleetSweepThreads, m::kDspMelBandNnz, m::kDspDispatchIsa,
         m::kServerMaxSlotsPerCycle, m::kBatteryChargeJoules,
         m::kBatteryDischargeJoules, m::kBackoffWaitSeconds,
-        m::kFaultBufferPeakBytes, m::kServeQueuePeakDepth})
+        m::kFaultBufferPeakBytes, m::kServeQueuePeakDepth,
+        m::kPlacementFrontierSize})
     reg.gauge(name);
   reg.histogram(metric::kAllocatorSlotOccupancy, slot_occupancy_bounds());
   reg.histogram(metric::kServeBatchWidth, serve_batch_bounds());

@@ -52,6 +52,22 @@ inline constexpr const char* kOrchestratorDegradedPlans =
 inline constexpr const char* kOrchestratorServicesShed =
     "core.orchestrator.services_shed";
 
+// core::PlacementSearch — beam/DP placement optimizer
+// (docs/PLACEMENT.md).
+inline constexpr const char* kPlacementSearches =
+    "core.placement.searches";
+inline constexpr const char* kPlacementCandidatesExpanded =
+    "core.placement.candidates_expanded";
+inline constexpr const char* kPlacementCandidatesPruned =
+    "core.placement.candidates_pruned";
+inline constexpr const char* kPlacementEvaluations =
+    "core.placement.evaluations";
+inline constexpr const char* kPlacementFrontierSize =
+    "core.placement.frontier_size";
+// Timer (seconds): one observation per search() call.
+inline constexpr const char* kPlacementSearchTime =
+    "core.placement.search_time";
+
 // core::LargeScaleSimulator — fleet wake-up cycles.
 inline constexpr const char* kFleetCycles = "core.fleet.cycles";
 inline constexpr const char* kFleetRequestsEdge =
