@@ -94,4 +94,13 @@ class Args {
   std::string metrics_out_;
 };
 
+/// The shared `threads=` knob: worker budget for util::parallel_for
+/// regions (0 = util::default_thread_count(), the cached
+/// hardware_concurrency probe). Benches parse it through this one helper
+/// so the spelling and default never drift between binaries — results
+/// are bit-identical for any value, the knob only moves wall-clock time.
+inline unsigned threads_arg(Args& args) {
+  return static_cast<unsigned>(args.config().get_int("threads", 0));
+}
+
 }  // namespace beesim::bench

@@ -373,8 +373,7 @@ int main(int argc, char** argv) {
   const int tasks = static_cast<int>(args.config().get_int("tasks", 16));
   const int chain = static_cast<int>(args.config().get_int("chain", 4));
   const int hives = static_cast<int>(args.config().get_int("hives", 8));
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = beesim::bench::threads_arg(args);
   const int reps = static_cast<int>(args.config().get_int("reps", 3));
   const std::string json_path = args.config().get_string("json", "");
 

@@ -38,8 +38,7 @@ int main(int argc, char** argv) {
       args.config().get_string("chain", "degraded");
   const std::string csv_path = args.config().get_string("csv", "");
   const int hives = static_cast<int>(args.config().get_int("hives", 1));
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = bench::threads_arg(args);
 
   bench::banner("Fig 2a/2b", "one week of a deployed smart beehive");
 

@@ -36,8 +36,7 @@ int main(int argc, char** argv) {
       args.config().get_string("service", "cnn") == "svm"
           ? ServiceModel::kSvm
           : ServiceModel::kCnn;
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = bench::threads_arg(args);
   const std::string csv_path = args.config().get_string("csv", "");
   const bench::CheckpointArgs ck =
       bench::CheckpointArgs::parse(args.config());

@@ -98,8 +98,7 @@ int main(int argc, char** argv) {
       args.config().get_string("policy", "fill-first") == "balanced"
           ? FillPolicy::kBalanced
           : FillPolicy::kFillFirst;
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = bench::threads_arg(args);
   const std::string csv_path = args.config().get_string("csv", "");
   const bench::CheckpointArgs ck =
       bench::CheckpointArgs::parse(args.config());

@@ -95,8 +95,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.config().get_int("seed", 11));
   const int cycles =
       static_cast<int>(args.config().get_int("cycles_per_point", 5));
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = bench::threads_arg(args);
   const bench::CheckpointArgs ck =
       bench::CheckpointArgs::parse(args.config());
 

@@ -127,8 +127,7 @@ int main(int argc, char** argv) {
       static_cast<int>(args.config().get_int("mean_duration", 3));
   const std::string kind = args.config().get_string("kind", "cloud");
   const double severity = args.config().get_double("severity", 0.5);
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = bench::threads_arg(args);
   const std::string csv_path = args.config().get_string("csv", "");
   const std::vector<double> rates =
       parse_rates(args.config().get_string("rates", "0,0.05,0.1,0.2"));

@@ -69,8 +69,7 @@ int main(int argc, char** argv) {
   const int hi = static_cast<int>(args.config().get_int("hi", 1000000));
   const int points = static_cast<int>(args.config().get_int("points", 10));
   const int cycles = static_cast<int>(args.config().get_int("cycles", 30));
-  const auto threads =
-      static_cast<unsigned>(args.config().get_int("threads", 0));
+  const auto threads = bench::threads_arg(args);
   const auto seed =
       static_cast<std::uint64_t>(args.config().get_int("seed", 42));
   const int parallel =

@@ -41,16 +41,24 @@
 #
 # Opt-in steps:
 #   --bench     run des_microbench + scale_fleet + kernels_microbench +
-#               placement_search and write the headline numbers to
-#               BENCH_des.json at the repo root (perf trajectory across
-#               PRs), including the per-tier / per-precision GEMM kernel
-#               throughput, the avx2-vs-scalar and int8/bf16-vs-f32
-#               speedup ratios, and the greedy-vs-beam placement energy
-#               on the fig7 crossover fleet under a cloud-outage plan.
+#               placement_search + pool_microbench + serving_load and
+#               write the headline numbers to BENCH_des.json at the repo
+#               root (perf trajectory across PRs), including the per-tier
+#               / per-precision GEMM kernel throughput, the
+#               avx2-vs-scalar and int8/bf16-vs-f32 speedup ratios, the
+#               greedy-vs-beam placement energy on the fig7 crossover
+#               fleet under a cloud-outage plan, the task-pool dispatch
+#               overhead vs spawn-per-call (pool.*) and the serving
+#               throughput with/without batched columnar compute
+#               (serving.*).
 #   --sanitize  configure a second build tree (<build-dir>-san) with
 #               -DBEESIM_SANITIZE=address,undefined and run the
 #               sim/fault/net/checkpoint/simd/precision test binaries
-#               under ASan+UBSan.
+#               under ASan+UBSan; then a third tree (<build-dir>-tsan)
+#               with -DBEESIM_SANITIZE=thread and run the task-pool and
+#               serving test binaries under ThreadSanitizer (the two
+#               suites that exercise the work-stealing executor and the
+#               lock-free submission rings).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -257,6 +265,30 @@ if [ "$run_bench" -eq 1 ]; then
     's/.*saving_pct=\([0-9.-]*\).*/\1/p' "$tmp/placement.txt")"
   echo "  placement: greedy ${placement_greedy} J/cycle vs beam" \
        "${placement_beam} J/cycle (${placement_saving}% saved)"
+  # require=1: the pool must beat spawn-per-call by >= 5x on the
+  # small-grain 64-task region, or the bench (and this script) fails.
+  "$repo/$build/bench/pool_microbench" tasks=64 reps=400 threads=4 \
+    require=1 > "$tmp/pool.txt"
+  pool_dispatch_us="$(sed -n \
+    's/.*pool_dispatch_us=\([0-9.]*\).*/\1/p' "$tmp/pool.txt")"
+  spawn_dispatch_us="$(sed -n \
+    's/.*spawn_dispatch_us=\([0-9.]*\).*/\1/p' "$tmp/pool.txt")"
+  pool_speedup="$(sed -n \
+    's/.*dispatch_speedup=\([0-9.]*\).*/\1/p' "$tmp/pool.txt")"
+  pool_tasks_per_sec="$(sed -n \
+    's/.*steal_tasks_per_sec=\([0-9.]*\).*/\1/p' "$tmp/pool.txt")"
+  echo "  pool: dispatch ${pool_dispatch_us} us vs spawn" \
+       "${spawn_dispatch_us} us (${pool_speedup}x)"
+  "$repo/$build/bench/serving_load" tenants=4 requests_per_tenant=12 \
+    scenarios=2 cycles_per_point=300 workers=2 > "$tmp/serving_bench.txt"
+  serve_cache_off_rps="$(sed -n \
+    's/.*cache=off *\([0-9.]*\) req\/s.*/\1/p' "$tmp/serving_bench.txt")"
+  serve_scalar_rps="$(sed -n \
+    's/.*columnar=off *\([0-9.]*\) req\/s.*/\1/p' "$tmp/serving_bench.txt")"
+  serve_columnar_speedup="$(sed -n \
+    's/.*columnar_speedup=\([0-9.]*\)x.*/\1/p' "$tmp/serving_bench.txt")"
+  echo "  serving: cache-off ${serve_cache_off_rps} req/s columnar vs" \
+       "${serve_scalar_rps} req/s scalar (${serve_columnar_speedup}x)"
   jq -n \
     --slurpfile des "$tmp/des.json" \
     --slurpfile kern "$tmp/kernels.json" \
@@ -267,6 +299,13 @@ if [ "$run_bench" -eq 1 ]; then
     --arg plg "$placement_greedy" \
     --arg plb "$placement_beam" \
     --arg pls "$placement_saving" \
+    --arg pdus "$pool_dispatch_us" \
+    --arg sdus "$spawn_dispatch_us" \
+    --arg psp "$pool_speedup" \
+    --arg ptps "$pool_tasks_per_sec" \
+    --arg scor "$serve_cache_off_rps" \
+    --arg sscr "$serve_scalar_rps" \
+    --arg scsp "$serve_columnar_speedup" \
     '{des: $des[0],
       scale_fleet_hives_per_sec: ($hps | tonumber),
       checkpoint: {soa_speedup: ($cks | tonumber),
@@ -275,6 +314,13 @@ if [ "$run_bench" -eq 1 ]; then
       placement: {greedy_j_per_cycle: ($plg | tonumber),
                   beam_j_per_cycle: ($plb | tonumber),
                   saving_pct: ($pls | tonumber)},
+      pool: {dispatch_us: ($pdus | tonumber),
+             spawn_dispatch_us: ($sdus | tonumber),
+             dispatch_speedup_vs_spawn: ($psp | tonumber),
+             steal_tasks_per_sec: ($ptps | tonumber)},
+      serving: {cache_off_req_per_sec_columnar: ($scor | tonumber),
+                cache_off_req_per_sec_scalar: ($sscr | tonumber),
+                columnar_speedup: ($scsp | tonumber)},
       kernels: [$kern[0].benchmarks[]
                 | {name, real_time, time_unit}],
       gemm: ($kern[0].benchmarks
@@ -296,7 +342,9 @@ if [ "$run_bench" -eq 1 ]; then
     "gemm avx2 $(jq -r '.gemm.avx2_speedup_vs_scalar' \
     "$repo/BENCH_des.json")x vs scalar," \
     "int8 $(jq -r '.gemm.int8_speedup_vs_f32' \
-    "$repo/BENCH_des.json")x vs f32)"
+    "$repo/BENCH_des.json")x vs f32," \
+    "pool dispatch $(jq -r '.pool.dispatch_speedup_vs_spawn' \
+    "$repo/BENCH_des.json")x vs spawn)"
 fi
 
 if [ "$run_sanitize" -eq 1 ]; then
@@ -315,6 +363,23 @@ if [ "$run_sanitize" -eq 1 ]; then
     else
       echo "  FAILED  $t under sanitizers:"
       tail -30 "$tmp/$t.san.log" | sed 's/^/    /'
+      fail=1
+    fi
+  done
+
+  echo
+  echo "== sanitize (--sanitize): pool + serving tests under TSan =="
+  cmake -B "$repo/$build-tsan" -S "$repo" \
+    -DBEESIM_SANITIZE=thread > /dev/null
+  cmake --build "$repo/$build-tsan" -j \
+    --target test_task_pool test_serve > /dev/null
+  for t in test_task_pool test_serve; do
+    if "$repo/$build-tsan/tests/$t" --gtest_brief=1 > "$tmp/$t.tsan.log" 2>&1
+    then
+      echo "  ok  $t clean under thread"
+    else
+      echo "  FAILED  $t under ThreadSanitizer:"
+      tail -30 "$tmp/$t.tsan.log" | sed 's/^/    /'
       fail=1
     fi
   done

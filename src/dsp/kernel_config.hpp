@@ -20,7 +20,9 @@ struct KernelConfig {
   /// instead of a full complex FFT with twiddles recomputed per frame.
   bool planned_fft = true;
   /// stft_power splits frames across util::parallel_for chunks with
-  /// per-chunk scratch buffers (bit-identical to the serial order).
+  /// per-chunk scratch buffers (bit-identical to the serial order),
+  /// including when nested inside an outer parallel region — the task
+  /// pool composes nested regions without oversubscribing.
   bool parallel_stft = true;
   /// MelSpectrogram applies the filterbank over each band's nonzero bin
   /// range instead of scanning all n_fft/2+1 bins per band.

@@ -58,15 +58,17 @@ void stft_frames_reference(const std::vector<double>& padded,
 /// into contiguous chunks across util::parallel_for, per-chunk scratch
 /// buffers and no per-frame heap allocation. Every frame's output is
 /// independent, so the result is bit-identical for any chunk count.
+/// Runs chunk-parallel even when nested inside another parallel region
+/// (e.g. the clip-parallel dataset featurizer): the task pool composes
+/// nested regions on one bounded worker set, so going wide here can no
+/// longer oversubscribe the machine.
 void stft_frames_fast(const std::vector<double>& padded,
                       const std::vector<double>& window,
                       const StftParams& params, std::size_t frames,
                       std::size_t bins, Matrix& out) {
   const RealFftPlan plan(params.n_fft);
   const std::size_t max_chunks =
-      kernel_config().parallel_stft && !util::in_parallel_region()
-          ? util::default_thread_count()
-          : 1;
+      kernel_config().parallel_stft ? util::default_thread_count() : 1;
   // Keep chunks coarse: at least 8 frames per chunk so scratch setup and
   // scheduling stay negligible against the FFT work.
   const std::size_t chunks = std::clamp<std::size_t>(

@@ -29,6 +29,14 @@ inline constexpr const char* kEnginePoolRearms = "sim.engine.pool_rearms";
 inline constexpr const char* kEnginePoolCompactions =
     "sim.engine.pool_compactions";
 
+// util::TaskPool — the persistent work-stealing executor behind
+// util::parallel_for (docs/ARCHITECTURE.md "Threading model"). Totals
+// are kept pool-side as plain atomics and published from issuing
+// threads when a region completes, so workers never touch the registry.
+inline constexpr const char* kPoolTasks = "util.pool.tasks";
+inline constexpr const char* kPoolSteals = "util.pool.steals";
+inline constexpr const char* kPoolParks = "util.pool.parks";
+
 // core::allocate — client -> server/slot assignment.
 inline constexpr const char* kAllocatorCalls = "core.allocator.calls";
 inline constexpr const char* kAllocatorClientsPlaced =
@@ -186,6 +194,11 @@ inline constexpr const char* kServeCacheEvictions =
 inline constexpr const char* kServeCacheExpirations =
     "serve.cache.expirations";
 inline constexpr const char* kServeBatchWidth = "serve.batch.width";
+// Points computed through the batched columnar path (one pool-parallel
+// FleetColumns/ResilienceColumns advance per coalesced scenario group)
+// rather than a per-request scalar sweep (docs/SERVING.md).
+inline constexpr const char* kServeBatchColumnarPoints =
+    "serve.batch.columnar_points";
 inline constexpr const char* kServeQueuePeakDepth =
     "serve.queue.peak_depth";
 

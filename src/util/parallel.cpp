@@ -1,26 +1,24 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
-#include <vector>
+
+#include "util/task_pool.hpp"
 
 namespace beesim::util {
-namespace {
-
-thread_local bool t_in_parallel_region = false;
-
-}  // namespace
 
 unsigned default_thread_count() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  // hardware_concurrency() can be an expensive syscall on some
+  // platforms and its answer never changes: probe once, cache forever.
+  static const unsigned cached = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }();
+  return cached;
 }
 
-bool in_parallel_region() noexcept { return t_in_parallel_region; }
+bool in_parallel_region() noexcept { return TaskPool::in_region(); }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
@@ -34,34 +32,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::size_t first_error_index = n;
-
-  auto worker = [&] {
-    t_in_parallel_region = true;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (i < first_error_index) {
-          first_error_index = i;
-          first_error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  TaskPool::instance().run(n, fn, threads);
 }
 
 }  // namespace beesim::util
